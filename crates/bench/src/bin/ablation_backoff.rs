@@ -1,0 +1,51 @@
+//! §5.2 ablation — *thrashing detection and back-off*: isolate AS-COMA's
+//! software back-off scheme by running AS-COMA at high memory pressure
+//! with the back-off enabled and disabled (disabled = thresholds never
+//! rise, the daemon never slows, allocation stays S-COMA-first).
+//!
+//! The paper's finding: without back-off the hybrid thrashes like R-NUMA
+//! ("the performance of a hybrid architecture will quickly drop below
+//! that of CC-NUMA if a mechanism is not put in place to avoid
+//! thrashing"); with it, AS-COMA converges to CC-NUMA-or-better.
+
+use ascoma::machine::simulate;
+use ascoma::{report, Arch, PolicyParams, SimConfig};
+use ascoma_bench::Options;
+
+fn main() {
+    let mut opts = Options::parse(std::env::args().skip(1));
+    if opts.pressures == ascoma::experiments::PAPER_PRESSURES.to_vec() {
+        opts.pressures = vec![0.7, 0.9];
+    }
+    println!("back-off ablation (AS-COMA at high pressure)");
+    for app in &opts.apps {
+        let cfg = SimConfig::default();
+        let trace = app.build(opts.size, cfg.geometry.page_bytes());
+        println!("== {} ==", app.name());
+        for &p in &opts.pressures {
+            let with = SimConfig {
+                pressure: p,
+                ..SimConfig::default()
+            };
+            let without = SimConfig {
+                policy: PolicyParams {
+                    ascoma_backoff: false,
+                    ..PolicyParams::default()
+                },
+                ..with
+            };
+            let cc = simulate(&trace, Arch::CcNuma, &with);
+            let a = simulate(&trace, Arch::AsComa, &with);
+            let b = simulate(&trace, Arch::AsComa, &without);
+            println!("  CC-NUMA    : {}", report::summary_line(&cc));
+            println!("  backoff on : {}", report::summary_line(&a));
+            println!("  backoff off: {}", report::summary_line(&b));
+            println!(
+                "  back-off wins by {:.1}% (vs CC-NUMA: on {:+.1}%, off {:+.1}%)",
+                (b.cycles as f64 / a.cycles as f64 - 1.0) * 100.0,
+                (a.cycles as f64 / cc.cycles as f64 - 1.0) * 100.0,
+                (b.cycles as f64 / cc.cycles as f64 - 1.0) * 100.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Sensitivity ablation — kernel-cost calibration.
+//!
+//! The paper's thesis is that "previous studies have tended to ignore the
+//! impact of software overhead … but our findings indicate that the
+//! effect of this factor can be dramatic."  DESIGN.md §4 calibrates the
+//! OCR-degraded kernel costs; this bin sweeps the relocation-path costs
+//! (interrupt, remap, per-block flush) around the calibration point and
+//! shows the conclusion — AS-COMA over R-NUMA at high pressure — is
+//! robust across the whole plausible range.
+
+use ascoma::machine::simulate;
+use ascoma::{Arch, SimConfig};
+use ascoma_bench::Options;
+use ascoma_vm::KernelCosts;
+
+fn main() {
+    let mut opts = Options::parse(std::env::args().skip(1));
+    if opts.apps.len() == 6 {
+        opts.apps = vec![ascoma_workloads::App::Radix];
+    }
+    println!("kernel-cost sensitivity sweep (90% pressure)");
+    for app in &opts.apps {
+        let base = SimConfig::at_pressure(0.9);
+        let trace = app.build(opts.size, base.geometry.page_bytes());
+        println!("== {} ==", app.name());
+        println!(
+            "{:>6} | {:>10} {:>10} {:>10} | {:>16}",
+            "scale", "CCNUMA", "RNUMA", "ASCOMA", "ASCOMA vs RNUMA"
+        );
+        for scale in [0.5f64, 1.0, 2.0, 4.0] {
+            let k = KernelCosts::default();
+            let cfg = SimConfig {
+                kernel: KernelCosts {
+                    relocation_interrupt: (k.relocation_interrupt as f64 * scale) as u64,
+                    remap: (k.remap as f64 * scale) as u64,
+                    flush_per_block: (k.flush_per_block as f64 * scale) as u64,
+                    ..k
+                },
+                ..base
+            };
+            let cc = simulate(&trace, Arch::CcNuma, &cfg);
+            let r = simulate(&trace, Arch::RNuma, &cfg);
+            let a = simulate(&trace, Arch::AsComa, &cfg);
+            println!(
+                "{:>5.1}x | {:>10} {:>10} {:>10} | ASCOMA {:+.1}% faster",
+                scale,
+                cc.cycles,
+                r.cycles,
+                a.cycles,
+                (r.cycles as f64 / a.cycles as f64 - 1.0) * 100.0,
+            );
+        }
+    }
+}

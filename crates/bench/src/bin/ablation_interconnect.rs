@@ -1,0 +1,38 @@
+//! Interconnect ablation — the paper's framing in Section 1: high-end
+//! machines buy down the remote:local latency ratio with expensive
+//! interconnects, while the hybrid architectures attack the *frequency*
+//! of remote accesses instead.  This bin compares the page-caching win
+//! under the paper interconnect (~3.3:1) and a high-end one (~2:1): the
+//! cheaper remote accesses become, the less the page cache saves —
+//! quantifying why hybrids matter most on commodity interconnects.
+
+use ascoma::machine::simulate;
+use ascoma::probe::probe_table4;
+use ascoma::{presets, Arch};
+use ascoma_workloads::{App, SizeClass};
+
+fn main() {
+    println!("interconnect ablation: AS-COMA win vs remote:local ratio (30% pressure)\n");
+    for (name, cfg) in [
+        ("paper (~3.3:1)", presets::paper(0.3)),
+        ("high-end (~2:1)", presets::fast_interconnect(0.3)),
+    ] {
+        let probe = probe_table4(&cfg);
+        println!(
+            "-- {name}: remote {:.0} cycles, ratio {:.2} --",
+            probe.remote_memory,
+            probe.remote_local_ratio()
+        );
+        for app in [App::Barnes, App::Em3d, App::Radix] {
+            let trace = app.build(SizeClass::Default, cfg.geometry.page_bytes());
+            let cc = simulate(&trace, Arch::CcNuma, &cfg);
+            let asc = simulate(&trace, Arch::AsComa, &cfg);
+            println!(
+                "   {:<8} AS-COMA beats CC-NUMA by {:+.1}%",
+                app.name(),
+                (cc.cycles as f64 / asc.cycles as f64 - 1.0) * 100.0
+            );
+        }
+        println!();
+    }
+}

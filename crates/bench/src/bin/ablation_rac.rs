@@ -1,0 +1,41 @@
+//! RAC ablation — the paper's aside that its small 512-byte RAC ("the
+//! last remote data received as part of performing a 4-line fetch") "had
+//! a larger impact on performance than we had anticipated", especially
+//! for fft's sequential remote reads.  Sweeps the RAC size over
+//! {0, 512, 2048, 8192} bytes under CC-NUMA.
+
+use ascoma::machine::simulate;
+use ascoma::{report, Arch, SimConfig};
+use ascoma_bench::Options;
+
+fn main() {
+    let opts = Options::parse(std::env::args().skip(1));
+    println!("RAC size ablation (CC-NUMA)");
+    for app in &opts.apps {
+        let base = SimConfig::default();
+        let trace = app.build(opts.size, base.geometry.page_bytes());
+        println!("== {} ==", app.name());
+        let mut baseline = None;
+        for rac_bytes in [0u64, 512, 2048, 8192] {
+            let cfg = SimConfig {
+                rac_bytes,
+                ..SimConfig::default()
+            };
+            let r = simulate(&trace, Arch::CcNuma, &cfg);
+            let rel = match baseline {
+                None => {
+                    baseline = Some(r.cycles);
+                    1.0
+                }
+                Some(b) => r.cycles as f64 / b as f64,
+            };
+            println!(
+                "  rac={:>5}B rel-time={:.3} rac-hits={:>9} {}",
+                rac_bytes,
+                rel,
+                r.miss.rac,
+                report::summary_line(&r)
+            );
+        }
+    }
+}

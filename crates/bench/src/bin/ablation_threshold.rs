@@ -1,0 +1,58 @@
+//! Design-tradeoff ablation — the relocation threshold.
+//!
+//! The paper: "If the refetch threshold is too low, remappings will occur
+//! too frequently, which leads to thrashing.  If it is too high,
+//! remappings that could be usefully made will be delayed."  This bin
+//! sweeps the initial threshold for R-NUMA (fixed) and AS-COMA
+//! (adaptive starting point) on one application at low and high pressure,
+//! showing that AS-COMA's adaptivity makes it far less sensitive to the
+//! initial choice.
+
+use ascoma::machine::simulate;
+use ascoma::{Arch, PolicyParams, SimConfig};
+use ascoma_bench::Options;
+
+fn main() {
+    let mut opts = Options::parse(std::env::args().skip(1));
+    if opts.apps.len() == 6 {
+        opts.apps = vec![ascoma_workloads::App::Em3d];
+    }
+    if opts.pressures.len() == 5 {
+        opts.pressures = vec![0.3, 0.9];
+    }
+    println!("relocation-threshold sweep");
+    for app in &opts.apps {
+        let base = SimConfig::default();
+        let trace = app.build(opts.size, base.geometry.page_bytes());
+        println!("== {} ==", app.name());
+        println!(
+            "{:>9} {:>6} | {:>12} {:>9} | {:>12} {:>9} {:>14}",
+            "threshold", "press", "RNUMA cyc", "upgrades", "ASCOMA cyc", "upgrades", "final thresh"
+        );
+        for &p in &opts.pressures {
+            for threshold in [16u32, 32, 64, 128, 256] {
+                let cfg = SimConfig {
+                    pressure: p,
+                    policy: PolicyParams {
+                        initial_threshold: threshold,
+                        ..PolicyParams::default()
+                    },
+                    ..base
+                };
+                let r = simulate(&trace, Arch::RNuma, &cfg);
+                let a = simulate(&trace, Arch::AsComa, &cfg);
+                let tmax = a.final_thresholds.iter().max().copied().unwrap_or(0);
+                println!(
+                    "{:>9} {:>5.0}% | {:>12} {:>9} | {:>12} {:>9} {:>14}",
+                    threshold,
+                    p * 100.0,
+                    r.cycles,
+                    r.kernel.upgrades,
+                    a.cycles,
+                    a.kernel.upgrades,
+                    tmax
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates the paper's Figures 2 and 3: for each application, the
+//! relative-execution-time stack and the miss-location stack across the
+//! five architectures and the pressure grid.
+//!
+//! ```text
+//! cargo run --release -p ascoma-bench --bin figures
+//! cargo run --release -p ascoma-bench --bin figures -- --app em3d,radix --pressure 0.1,0.7,0.9
+//! cargo run --release -p ascoma-bench --bin figures -- --csv > figures.csv
+//! ```
+
+use ascoma::{chart, report, SimConfig};
+use ascoma_bench::{run_figures_parallel, Options};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let chart_mode = args.iter().any(|a| a == "--chart");
+    args.retain(|a| a != "--chart");
+    let opts = Options::parse(args.into_iter());
+    let cfg = SimConfig::default();
+    let figures = run_figures_parallel(&opts, &cfg);
+    for data in &figures {
+        if opts.csv {
+            print!("{}", report::figure_csv(data));
+        } else if chart_mode {
+            println!("{}", chart::exec_chart(data));
+            println!("{}", chart::miss_chart(data));
+        } else {
+            println!("{}", report::figure(data));
+        }
+    }
+}

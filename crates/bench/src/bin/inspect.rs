@@ -1,0 +1,38 @@
+//! Workload inspector: static characterization of the benchmark traces —
+//! Table 5 profile plus stride/heat/sharing distributions — without
+//! running any simulation.
+//!
+//! ```text
+//! cargo run --release -p ascoma-bench --bin inspect
+//! cargo run --release -p ascoma-bench --bin inspect -- --app radix --size paper
+//! ```
+
+use ascoma::SimConfig;
+use ascoma_bench::Options;
+use ascoma_workloads::analyze::profile;
+use ascoma_workloads::stats::{render, trace_stats};
+
+fn main() {
+    let opts = Options::parse(std::env::args().skip(1));
+    let cfg = SimConfig::default();
+    let pb = cfg.geometry.page_bytes();
+    for app in &opts.apps {
+        let t = app.build(opts.size, pb);
+        let prof = profile(&t, pb);
+        let stats = trace_stats(&t, pb);
+        println!(
+            "== {} == {} nodes, {} shared pages, ideal pressure {:.0}%, max remote {} pages",
+            t.name,
+            t.nodes,
+            t.shared_pages,
+            prof.ideal_pressure * 100.0,
+            prof.max_remote_pages
+        );
+        print!("{}", render(&t.name, &stats));
+        println!(
+            "  remote access fraction: {:.1}%",
+            prof.remote_access_fraction * 100.0
+        );
+        println!();
+    }
+}

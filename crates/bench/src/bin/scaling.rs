@@ -1,0 +1,38 @@
+//! Scaling study (extension): the paper evaluates 4- and 8-node
+//! machines; the simulator's topology generalizes to a two-level switch
+//! tree, so this bin sweeps machine size on an em3d-like workload and
+//! reports how the AS-COMA advantage behaves as node count grows (remote
+//! latency rises at 2 levels; per-node home share shrinks).
+
+use ascoma::machine::simulate;
+use ascoma::{Arch, SimConfig};
+use ascoma_workloads::apps::em3d::Em3dParams;
+
+fn main() {
+    println!("machine-size scaling (em3d-like, 70% pressure)");
+    println!(
+        "{:>6} | {:>12} {:>12} {:>12} | {:>14}",
+        "nodes", "CCNUMA", "RNUMA", "ASCOMA", "ASCOMA vs CC"
+    );
+    for nodes in [4usize, 8, 16, 32] {
+        let cfg = SimConfig::at_pressure(0.7);
+        let trace = Em3dParams {
+            nodes,
+            n_per_node: 4096,
+            iters: 6,
+            ..Em3dParams::default()
+        }
+        .build(cfg.geometry.page_bytes());
+        let cc = simulate(&trace, Arch::CcNuma, &cfg);
+        let r = simulate(&trace, Arch::RNuma, &cfg);
+        let a = simulate(&trace, Arch::AsComa, &cfg);
+        println!(
+            "{:>6} | {:>12} {:>12} {:>12} | {:+.1}%",
+            nodes,
+            cc.cycles,
+            r.cycles,
+            a.cycles,
+            (a.cycles as f64 / cc.cycles as f64 - 1.0) * 100.0,
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerates Table 1: the measured remote-memory-overhead terms of each
+//! architecture (`N_pagecache`, `N_remote`, `N_cold`, `T_overhead`),
+//! plus the kernel counters behind them (relocations, daemon activity),
+//! for one application across pressures.
+//!
+//! ```text
+//! cargo run --release -p ascoma-bench --bin table1 -- --app em3d --pressure 0.1,0.5,0.9
+//! ```
+
+use ascoma::experiments::run_figure_on;
+use ascoma::{report, SimConfig};
+use ascoma_bench::Options;
+
+fn main() {
+    let opts = Options::parse(std::env::args().skip(1));
+    let cfg = SimConfig::default();
+    for app in &opts.apps {
+        let trace = app.build(opts.size, cfg.geometry.page_bytes());
+        let data = run_figure_on(&trace, &opts.pressures, &cfg);
+        let runs: Vec<_> = data.bars.iter().map(|b| b.run.clone()).collect();
+        println!("== {} ==", app.name());
+        print!("{}", report::table1(&runs));
+        println!();
+        print!("{}", report::proto_table(&runs));
+        println!();
+        println!(
+            "{:<8} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+            "arch", "press", "upgrades", "dngrades", "dmn-runs", "dmn-fail", "interrpts", "flushed"
+        );
+        for r in &runs {
+            println!(
+                "{:<8} {:>5.0}% {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+                r.arch.name(),
+                r.pressure * 100.0,
+                r.kernel.upgrades,
+                r.kernel.downgrades,
+                r.kernel.daemon_runs,
+                r.kernel.daemon_failures,
+                r.kernel.relocation_interrupts,
+                r.kernel.blocks_flushed,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 2: storage cost and complexity of each model,
+//! computed from the simulator configuration.
+
+use ascoma::{report, SimConfig};
+
+fn main() {
+    print!("{}", report::table2(&SimConfig::default(), 8));
+}

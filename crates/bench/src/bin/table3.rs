@@ -1,0 +1,8 @@
+//! Regenerates Table 3: the cache and network characteristics of the
+//! modeled machine.
+
+use ascoma::{report, SimConfig};
+
+fn main() {
+    print!("{}", report::table3(&SimConfig::default()));
+}

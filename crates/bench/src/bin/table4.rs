@@ -1,0 +1,11 @@
+//! Regenerates Table 4: minimum access latencies, *measured* through the
+//! full simulated access path with differential probes (see
+//! `ascoma::probe`), not copied from the configuration.
+
+use ascoma::probe::probe_table4;
+use ascoma::{report, SimConfig};
+
+fn main() {
+    let probe = probe_table4(&SimConfig::default());
+    print!("{}", report::table4(&probe));
+}

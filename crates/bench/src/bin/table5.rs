@@ -1,0 +1,21 @@
+//! Regenerates Table 5: programs, problem sizes, home pages, maximum
+//! remote pages and ideal memory pressure, computed from the synthetic
+//! workload traces.
+
+use ascoma::{report, SimConfig};
+use ascoma_bench::Options;
+use ascoma_workloads::analyze::profile;
+
+fn main() {
+    let opts = Options::parse(std::env::args().skip(1));
+    let cfg = SimConfig::default();
+    let profiles: Vec<_> = opts
+        .apps
+        .iter()
+        .map(|app| {
+            let t = app.build(opts.size, cfg.geometry.page_bytes());
+            profile(&t, cfg.geometry.page_bytes())
+        })
+        .collect();
+    print!("{}", report::table5(&profiles));
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table 6: the number of remote pages ever accessed versus
+//! the number that conflict frequently enough to be relocated, measured
+//! under R-NUMA at 10% memory pressure.
+
+use ascoma::experiments::run_table6;
+use ascoma::{report, SimConfig};
+use ascoma_bench::Options;
+use parking_lot::Mutex;
+
+fn main() {
+    let opts = Options::parse(std::env::args().skip(1));
+    let cfg = SimConfig::default();
+    let rows = Mutex::new(vec![None; opts.apps.len()]);
+    crossbeam::thread::scope(|s| {
+        for (i, app) in opts.apps.iter().enumerate() {
+            let rows = &rows;
+            let cfg = &cfg;
+            let size = opts.size;
+            s.spawn(move |_| {
+                let row = run_table6(*app, size, cfg);
+                rows.lock()[i] = Some(row);
+            });
+        }
+    })
+    .expect("table6 sweep");
+    let rows: Vec<_> = rows.into_inner().into_iter().flatten().collect();
+    print!("{}", report::table6(&rows));
+}

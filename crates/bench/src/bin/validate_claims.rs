@@ -1,0 +1,148 @@
+//! The reproduction checklist: re-measures every headline claim of the
+//! paper at full (Default) workload scale and prints a pass/fail table —
+//! the release-mode companion of `tests/shapes.rs` and the summary at the
+//! top of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p ascoma-bench --bin validate_claims
+//! ```
+
+use ascoma::experiments::run_figure_on;
+use ascoma::{Arch, SimConfig};
+use ascoma_workloads::{App, SizeClass};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+type Key = (App, Arch, u32);
+
+fn main() {
+    let cfg = SimConfig::default();
+    let pressures = [0.1, 0.5, 0.7, 0.9];
+
+    // Run the whole cross product in parallel, one thread per app.
+    let results: Mutex<HashMap<Key, f64>> = Mutex::new(HashMap::new());
+    crossbeam::thread::scope(|s| {
+        for app in App::ALL {
+            let results = &results;
+            let cfg = &cfg;
+            s.spawn(move |_| {
+                let trace = app.build(SizeClass::Default, cfg.geometry.page_bytes());
+                let data = run_figure_on(&trace, &pressures, cfg);
+                let mut map = results.lock();
+                for bar in &data.bars {
+                    let p = (bar.run.pressure * 100.0).round() as u32;
+                    if bar.run.arch == Arch::CcNuma {
+                        for &pp in &pressures {
+                            map.insert(
+                                (app, Arch::CcNuma, (pp * 100.0).round() as u32),
+                                1.0,
+                            );
+                        }
+                    } else {
+                        map.insert((app, bar.run.arch, p), bar.relative_time);
+                    }
+                }
+            });
+        }
+    })
+    .expect("sweep");
+    let r = results.into_inner();
+    let get = |app, arch, p: u32| r[&(app, arch, p)];
+
+    let mut pass = 0;
+    let mut fail = 0;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        if ok {
+            pass += 1;
+            println!("[PASS] {name}: {detail}");
+        } else {
+            fail += 1;
+            println!("[FAIL] {name}: {detail}");
+        }
+    };
+
+    // 1. AS-COMA == S-COMA at low pressure.
+    let max_gap = App::ALL
+        .iter()
+        .map(|&a| (get(a, Arch::AsComa, 10) / get(a, Arch::Scoma, 10) - 1.0).abs())
+        .fold(0.0, f64::max);
+    check(
+        "AS-COMA acts like S-COMA at 10% pressure",
+        max_gap < 0.05,
+        format!("max |gap| {:.1}%", max_gap * 100.0),
+    );
+
+    // 2. S-COMA craters at 90% on thrash-sensitive apps.
+    let worst_scoma = [App::Barnes, App::Em3d, App::Radix]
+        .iter()
+        .map(|&a| get(a, Arch::Scoma, 90))
+        .fold(0.0, f64::max);
+    check(
+        "pure S-COMA thrashes at 90% pressure",
+        worst_scoma > 2.0,
+        format!("up to {worst_scoma:.1}x CC-NUMA"),
+    );
+
+    // 3. R-NUMA falls below CC-NUMA at 90%.
+    let rnuma_bad = [App::Barnes, App::Radix]
+        .iter()
+        .all(|&a| get(a, Arch::RNuma, 90) > 1.02);
+    check(
+        "R-NUMA loses to CC-NUMA at 90% pressure",
+        rnuma_bad,
+        format!(
+            "barnes {:.2}, radix {:.2}",
+            get(App::Barnes, Arch::RNuma, 90),
+            get(App::Radix, Arch::RNuma, 90)
+        ),
+    );
+
+    // 4. AS-COMA within a few % of CC-NUMA everywhere.
+    let ascoma_worst = App::ALL
+        .iter()
+        .flat_map(|&a| [10u32, 50, 70, 90].map(|p| get(a, Arch::AsComa, p)))
+        .fold(0.0, f64::max);
+    check(
+        "AS-COMA never loses to CC-NUMA by more than ~5%",
+        ascoma_worst < 1.06,
+        format!("worst {ascoma_worst:.3}"),
+    );
+
+    // 5. VC-NUMA between R-NUMA and AS-COMA at 90%.
+    let vc_between = [App::Barnes, App::Radix].iter().all(|&a| {
+        let (v, rn, asc) = (
+            get(a, Arch::VcNuma, 90),
+            get(a, Arch::RNuma, 90),
+            get(a, Arch::AsComa, 90),
+        );
+        v <= rn + 0.01 && v >= asc - 0.01
+    });
+    check("VC-NUMA sits between R-NUMA and AS-COMA at 90%", vc_between, String::new());
+
+    // 6. AS-COMA beats R-NUMA most on radix at 10% (initial allocation).
+    let radix_gain = get(App::Radix, Arch::RNuma, 10) / get(App::Radix, Arch::AsComa, 10) - 1.0;
+    check(
+        "S-COMA-first allocation wins big on radix at 10% (paper: 37%)",
+        radix_gain > 0.25,
+        format!("{:.0}%", radix_gain * 100.0),
+    );
+
+    // 7. lu hybrids beat CC-NUMA at all pressures.
+    let lu_ok = [Arch::Scoma, Arch::AsComa, Arch::VcNuma, Arch::RNuma]
+        .iter()
+        .all(|&arch| [10u32, 50, 90].iter().all(|&p| get(App::Lu, arch, p) < 1.0));
+    check("lu: every hybrid beats CC-NUMA at all pressures", lu_ok, String::new());
+
+    // 8. fft/ocean insensitive (non-S-COMA archs within 10%).
+    let flat = [App::Fft, App::Ocean].iter().all(|&a| {
+        [Arch::AsComa, Arch::VcNuma, Arch::RNuma].iter().all(|&arch| {
+            [10u32, 90].iter().all(|&p| (0.9..1.1).contains(&get(a, arch, p)))
+        })
+    });
+    check("fft/ocean are architecture-insensitive", flat, String::new());
+
+    println!("\n{pass} passed, {fail} failed");
+    if fail > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared plumbing for the benchmark/table/figure binaries.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper (see DESIGN.md §8 for the index); this library holds the argument
+//! parsing and the parallel sweep helper they share.
+
+#![warn(missing_docs)]
+
+use ascoma::experiments::{run_figure_on, FigureData};
+use ascoma::SimConfig;
+use ascoma_workloads::{App, SizeClass};
+
+/// Common CLI options for the table/figure binaries.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Applications to run (default: all six).
+    pub apps: Vec<App>,
+    /// Memory pressures (default: the paper grid).
+    pub pressures: Vec<f64>,
+    /// Problem-size class.
+    pub size: SizeClass,
+    /// Emit CSV instead of text tables.
+    pub csv: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            apps: App::ALL.to_vec(),
+            pressures: ascoma::experiments::PAPER_PRESSURES.to_vec(),
+            size: SizeClass::Default,
+            csv: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parse `--app a,b --pressure 0.1,0.9 --size tiny|default|paper --csv`.
+    ///
+    /// Exits with a message on malformed input.
+    pub fn parse(args: impl Iterator<Item = String>) -> Options {
+        let mut opts = Options::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--app" | "--apps" => {
+                    let v = args.next().unwrap_or_else(|| die("--app needs a value"));
+                    opts.apps = v
+                        .split(',')
+                        .map(|s| {
+                            App::parse(s.trim())
+                                .unwrap_or_else(|| die(&format!("unknown app '{s}'")))
+                        })
+                        .collect();
+                }
+                "--pressure" | "--pressures" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| die("--pressure needs a value"));
+                    opts.pressures = v
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<f64>()
+                                .ok()
+                                .filter(|p| *p > 0.0 && *p <= 1.0)
+                                .unwrap_or_else(|| die(&format!("bad pressure '{s}'")))
+                        })
+                        .collect();
+                }
+                "--size" => {
+                    let v = args.next().unwrap_or_else(|| die("--size needs a value"));
+                    opts.size = match v.as_str() {
+                        "tiny" => SizeClass::Tiny,
+                        "default" => SizeClass::Default,
+                        "paper" => SizeClass::Paper,
+                        other => die(&format!("unknown size '{other}'")),
+                    };
+                }
+                "--csv" => opts.csv = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --app a,b,.. --pressure 0.1,0.3,.. --size tiny|default|paper --csv"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown option '{other}'")),
+            }
+        }
+        opts
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Run the figure cross-product for several apps in parallel (one thread
+/// per app via crossbeam scoped threads).
+pub fn run_figures_parallel(opts: &Options, base: &SimConfig) -> Vec<FigureData> {
+    let mut out: Vec<Option<FigureData>> = vec![None; opts.apps.len()];
+    crossbeam::thread::scope(|s| {
+        for (slot, app) in out.iter_mut().zip(&opts.apps) {
+            let pressures = opts.pressures.clone();
+            let size = opts.size;
+            s.spawn(move |_| {
+                let trace = app.build(size, base.geometry.page_bytes());
+                *slot = Some(run_figure_on(&trace, &pressures, base));
+            });
+        }
+    })
+    .expect("figure sweep thread panicked");
+    out.into_iter().map(|o| o.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Options {
+        Options::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults_cover_all_apps_and_paper_pressures() {
+        let o = Options::default();
+        assert_eq!(o.apps.len(), 6);
+        assert_eq!(o.pressures.len(), 5);
+    }
+
+    #[test]
+    fn parse_apps_and_pressures() {
+        let o = parse("--app em3d,radix --pressure 0.1,0.9 --size tiny --csv");
+        assert_eq!(o.apps, vec![App::Em3d, App::Radix]);
+        assert_eq!(o.pressures, vec![0.1, 0.9]);
+        assert_eq!(o.size, SizeClass::Tiny);
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn parallel_sweep_produces_one_figure_per_app() {
+        let o = Options {
+            apps: vec![App::Ocean, App::Lu],
+            pressures: vec![0.5],
+            size: SizeClass::Tiny,
+            csv: false,
+        };
+        let figs = run_figures_parallel(&o, &SimConfig::default());
+        assert_eq!(figs.len(), 2);
+        assert_eq!(figs[0].app, "ocean");
+        assert_eq!(figs[1].app, "lu");
+    }
+}

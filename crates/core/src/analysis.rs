@@ -1,0 +1,147 @@
+//! Derived run analysis: measured average latencies, traffic, imbalance.
+//!
+//! The paper's cost model (Table 1) is written in terms of per-location
+//! latencies `T_pagecache`, `T_remote` and counts `N_*`; the simulator
+//! measures both, so this module computes the *effective* (contended)
+//! latencies of a run and several derived health metrics:
+//!
+//! * measured average latency per miss-service location — the paper notes
+//!   "the average latency in our simulation is considerably higher than
+//!   this minimum because of contention", and this is where that shows;
+//! * network traffic per kilocycle;
+//! * node execution imbalance (max/mean), the effect the paper blames for
+//!   S-COMA's lu result;
+//! * the Table 1 overhead decomposition evaluated with measured values.
+
+use crate::result::RunResult;
+use std::fmt::Write as _;
+
+/// Derived metrics of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunAnalysis {
+    /// Measured average latency `[home, scoma, rac, remote]`, cycles.
+    pub avg_latency: [f64; 4],
+    /// Fraction of shared-data misses that required a remote transaction.
+    pub remote_miss_fraction: f64,
+    /// Network payload bytes moved per 1000 cycles of execution.
+    pub traffic_per_kcycle: f64,
+    /// Max node execution time over mean node execution time (1.0 =
+    /// perfectly balanced).
+    pub imbalance: f64,
+    /// Fraction of remote fetches that took the 3-hop dirty path.
+    pub dirty_fetch_fraction: f64,
+    /// The paper's Table 1 remote-overhead sum, evaluated with measured
+    /// terms: `N_pagecache*T_pagecache + N_remote*T_remote + T_overhead`
+    /// (cycles).
+    pub remote_overhead_cycles: f64,
+}
+
+/// Analyze a completed run.
+pub fn analyze(r: &RunResult) -> RunAnalysis {
+    let avg = r.latency.averages(&r.miss);
+    let totals: Vec<u64> = r.exec_per_node.iter().map(|e| e.total()).collect();
+    let mean = totals.iter().sum::<u64>() as f64 / totals.len().max(1) as f64;
+    let max = totals.iter().copied().max().unwrap_or(0) as f64;
+    let miss_total = r.miss.total().max(1) as f64;
+
+    RunAnalysis {
+        avg_latency: avg,
+        remote_miss_fraction: r.miss.remote() as f64 / miss_total,
+        traffic_per_kcycle: if r.cycles == 0 {
+            0.0
+        } else {
+            // Bytes per kilocycle of wall time; the network tracks payload.
+            1000.0 * (r.net_messages as f64 * 16.0 + r.miss.remote() as f64 * 128.0)
+                / r.cycles as f64
+        },
+        imbalance: if mean > 0.0 { max / mean } else { 1.0 },
+        dirty_fetch_fraction: r.proto.dirty_fraction(),
+        remote_overhead_cycles: r.miss.scoma as f64 * avg[1]
+            + r.miss.remote() as f64 * avg[3]
+            + r.exec.k_overhd as f64,
+    }
+}
+
+/// Render an analysis as a compact block.
+pub fn format_analysis(r: &RunResult) -> String {
+    let a = analyze(r);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{} @ {:.0}% pressure — derived metrics",
+        r.arch.name(),
+        r.pressure * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "  avg latency (cycles): home {:.1}  page-cache {:.1}  rac {:.1}  remote {:.1}",
+        a.avg_latency[0], a.avg_latency[1], a.avg_latency[2], a.avg_latency[3]
+    );
+    let _ = writeln!(
+        s,
+        "  remote-miss fraction {:.1}%   dirty(3-hop) {:.1}%   traffic {:.1} B/kcycle",
+        a.remote_miss_fraction * 100.0,
+        a.dirty_fetch_fraction * 100.0,
+        a.traffic_per_kcycle
+    );
+    let _ = writeln!(
+        s,
+        "  node imbalance {:.3}   remote-overhead (Table 1 sum) {:.0} cycles",
+        a.imbalance, a.remote_overhead_cycles
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Arch, SimConfig};
+    use crate::machine::simulate;
+    use ascoma_workloads::{App, SizeClass};
+
+    fn run(arch: Arch, p: f64) -> RunResult {
+        let cfg = SimConfig::at_pressure(p);
+        let t = App::Em3d.build(SizeClass::Tiny, cfg.geometry.page_bytes());
+        simulate(&t, arch, &cfg)
+    }
+
+    #[test]
+    fn measured_latencies_sit_above_minimums() {
+        // Contention pushes averages above the Table 4 zero-contention
+        // minimums, never below.
+        let r = run(Arch::CcNuma, 0.5);
+        let a = analyze(&r);
+        assert!(a.avg_latency[0] >= 58.0, "home avg {}", a.avg_latency[0]);
+        assert!(a.avg_latency[3] >= 180.0, "remote avg {}", a.avg_latency[3]);
+    }
+
+    #[test]
+    fn scoma_latency_measured_only_when_used() {
+        let cc = analyze(&run(Arch::CcNuma, 0.5));
+        assert_eq!(cc.avg_latency[1], 0.0, "CC-NUMA has no page cache");
+        let sc = analyze(&run(Arch::Scoma, 0.1));
+        assert!(sc.avg_latency[1] >= 50.0, "page-cache avg {}", sc.avg_latency[1]);
+    }
+
+    #[test]
+    fn remote_fraction_drops_with_page_cache() {
+        let cc = analyze(&run(Arch::CcNuma, 0.5));
+        let sc = analyze(&run(Arch::Scoma, 0.1));
+        assert!(sc.remote_miss_fraction < cc.remote_miss_fraction);
+    }
+
+    #[test]
+    fn imbalance_is_at_least_one() {
+        let a = analyze(&run(Arch::AsComa, 0.5));
+        assert!(a.imbalance >= 1.0);
+        assert!(a.imbalance < 2.0, "em3d should be roughly balanced");
+    }
+
+    #[test]
+    fn format_mentions_key_numbers() {
+        let r = run(Arch::AsComa, 0.5);
+        let s = format_analysis(&r);
+        assert!(s.contains("avg latency"));
+        assert!(s.contains("imbalance"));
+    }
+}

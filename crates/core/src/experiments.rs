@@ -1,0 +1,162 @@
+//! Experiment presets: the cross-products behind the paper's figures and
+//! tables.
+//!
+//! The paper simulates each application across the five architectures and
+//! memory pressures from 10% to 90% (CC-NUMA once, being pressure-
+//! independent).  [`run_figure`] produces the data for one application's
+//! pair of charts (Figures 2–3); [`run_table6`] reproduces the relocation
+//! census at low pressure.
+
+use crate::config::{Arch, SimConfig};
+use crate::machine::simulate;
+use crate::result::RunResult;
+use ascoma_workloads::trace::Trace;
+use ascoma_workloads::{App, SizeClass};
+
+/// The pressure grid of the paper's charts.
+pub const PAPER_PRESSURES: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// One bar of a figure: an `(arch, pressure)` run plus its relative time.
+#[derive(Debug, Clone)]
+pub struct FigureBar {
+    /// The run's results.
+    pub run: RunResult,
+    /// Execution time relative to the CC-NUMA baseline.
+    pub relative_time: f64,
+}
+
+/// The data behind one application's pair of charts.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Application name.
+    pub app: String,
+    /// The CC-NUMA baseline run.
+    pub baseline: RunResult,
+    /// All bars, in chart order (CC-NUMA first, then each architecture
+    /// across pressures).
+    pub bars: Vec<FigureBar>,
+}
+
+/// Run the full chart cross-product for `app`: CC-NUMA once, then
+/// S-COMA/AS-COMA/VC-NUMA/R-NUMA at each pressure.
+///
+/// ```
+/// use ascoma::experiments::run_figure;
+/// use ascoma::SimConfig;
+/// use ascoma_workloads::{App, SizeClass};
+///
+/// let data = run_figure(App::Ocean, SizeClass::Tiny, &[0.5], &SimConfig::default());
+/// // 1 CC-NUMA baseline bar + 4 architectures x 1 pressure.
+/// assert_eq!(data.bars.len(), 5);
+/// assert_eq!(data.bars[0].relative_time, 1.0);
+/// ```
+pub fn run_figure(app: App, size: SizeClass, pressures: &[f64], base: &SimConfig) -> FigureData {
+    let trace = app.build(size, base.geometry.page_bytes());
+    run_figure_on(&trace, pressures, base)
+}
+
+/// As [`run_figure`], over an already-built trace.
+pub fn run_figure_on(trace: &Trace, pressures: &[f64], base: &SimConfig) -> FigureData {
+    let baseline = simulate(trace, Arch::CcNuma, base);
+    let mut bars = vec![FigureBar {
+        relative_time: 1.0,
+        run: baseline.clone(),
+    }];
+    for arch in [Arch::Scoma, Arch::AsComa, Arch::VcNuma, Arch::RNuma] {
+        for &p in pressures {
+            let cfg = SimConfig {
+                pressure: p,
+                ..*base
+            };
+            let run = simulate(trace, arch, &cfg);
+            let relative_time = run.relative_to(&baseline);
+            bars.push(FigureBar { run, relative_time });
+        }
+    }
+    FigureData {
+        app: trace.name.clone(),
+        baseline,
+        bars,
+    }
+}
+
+/// Table 6: remote-page census under R-NUMA at 10% memory pressure —
+/// "the percentage of remote pages that are refetched at least [threshold]
+/// times, and thus will be remapped from CC-NUMA to S-COMA mode in R-NUMA
+/// or VC-NUMA, versus the total number of remote pages accessed."
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Application name.
+    pub app: String,
+    /// Distinct `(page, node)` remote pages accessed.
+    pub total_remote: u64,
+    /// Distinct `(page, node)` pages relocated.
+    pub relocated: u64,
+    /// `relocated / total_remote`.
+    pub fraction: f64,
+}
+
+/// Run the Table 6 census for one application.
+pub fn run_table6(app: App, size: SizeClass, base: &SimConfig) -> Table6Row {
+    let cfg = SimConfig {
+        pressure: 0.1,
+        ..*base
+    };
+    let trace = app.build(size, cfg.geometry.page_bytes());
+    let run = simulate(&trace, Arch::RNuma, &cfg);
+    Table6Row {
+        app: trace.name,
+        total_remote: run.remote_page_node_pairs,
+        relocated: run.relocated_page_node_pairs,
+        fraction: run.relocated_fraction(),
+    }
+}
+
+/// Run one `(app, arch, pressure)` cell (used by ablations and tests).
+pub fn run_cell(app: App, size: SizeClass, arch: Arch, pressure: f64, base: &SimConfig) -> RunResult {
+    let cfg = SimConfig {
+        pressure,
+        ..*base
+    };
+    let trace = app.build(size, cfg.geometry.page_bytes());
+    simulate(&trace, arch, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_contains_all_bars() {
+        let data = run_figure(
+            App::Ocean,
+            SizeClass::Tiny,
+            &[0.1, 0.9],
+            &SimConfig::default(),
+        );
+        // 1 CC-NUMA + 4 archs x 2 pressures.
+        assert_eq!(data.bars.len(), 9);
+        assert_eq!(data.bars[0].relative_time, 1.0);
+        assert_eq!(data.app, "ocean");
+    }
+
+    #[test]
+    fn table6_row_is_consistent() {
+        let row = run_table6(App::Em3d, SizeClass::Tiny, &SimConfig::default());
+        assert!(row.total_remote > 0);
+        assert!(row.relocated <= row.total_remote);
+        assert!((0.0..=1.0).contains(&row.fraction));
+    }
+
+    #[test]
+    fn run_cell_respects_pressure() {
+        let r = run_cell(
+            App::Ocean,
+            SizeClass::Tiny,
+            Arch::Scoma,
+            0.7,
+            &SimConfig::default(),
+        );
+        assert!((r.pressure - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,1348 @@
+//! The machine: N node actors over the shared substrates.
+//!
+//! Each node owns an L1, a RAC, a page table, a frame pool, a pageout
+//! daemon and a policy; the machine owns the directory, the interconnect
+//! and the per-node local-memory paths (bus + banked DRAM), which remote
+//! transactions from *other* nodes also traverse — that cross-traffic is
+//! how memory-system contention couples the nodes.
+//!
+//! Because the modeled processors are sequentially consistent with one
+//! outstanding miss (the paper's configuration), a node's memory operation
+//! resolves completely before its next issues, so the machine interleaves
+//! nodes with a global min-heap over per-node clocks and resolves each
+//! operation synchronously against busy-until resources.
+//!
+//! The access path implements the paper's Section 2 walk: L1 → page-mode
+//! lookup → local DRAM (home page or valid S-COMA block) / RAC / remote
+//! fetch through the home directory, with refetch counting, relocation
+//! interrupts, pageout-daemon invocations and all kernel charges landing
+//! in the `K-BASE` / `K-OVERHD` buckets the paper's Figures 2–3 stack.
+
+use crate::config::{Arch, SimConfig};
+use crate::policy::{adjust_period, FrameSource, MapChoice, PolicyState};
+use crate::result::RunResult;
+use ascoma_mem::cache::{DirectMappedCache, Lookup};
+use ascoma_mem::timing::LocalMemory;
+use ascoma_net::{Network, Topology};
+use ascoma_proto::{Directory, FetchClass, ProtoStats};
+use ascoma_sim::addr::{VAddr, VPage};
+use ascoma_sim::sched::Scheduler;
+use ascoma_sim::stats::{ExecBreakdown, KernelStats, MissBreakdown, MissLatency};
+use ascoma_sim::{Cycles, NodeId, NodeSet};
+use ascoma_vm::home_alloc::assign_homes;
+use ascoma_vm::{FramePool, PageMode, PageTable, PageoutDaemon, Tlb};
+use ascoma_workloads::trace::{Op, Trace, TraceRunner};
+
+/// Which time bucket a latency charge lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bucket {
+    ShMem,
+    LcMem,
+    KBase,
+    KOverhd,
+    Instr,
+}
+
+/// One node actor.
+struct NodeCtx<'t> {
+    clock: Cycles,
+    runner: TraceRunner<'t>,
+    l1: DirectMappedCache,
+    rac: Option<DirectMappedCache>,
+    pt: PageTable,
+    tlb: Tlb,
+    pool: FramePool,
+    daemon: PageoutDaemon,
+    pol: PolicyState,
+    exec: ExecBreakdown,
+    miss: MissBreakdown,
+    lat: MissLatency,
+    kstats: KernelStats,
+    /// Distinct remote pages this node has touched.
+    remote_touched: Vec<bool>,
+    /// Distinct pages this node has upgraded to S-COMA.
+    upgraded: Vec<bool>,
+    done: bool,
+    finish: Cycles,
+    at_barrier: bool,
+}
+
+/// One mutual-exclusion lock (SPLASH-style `LOCK`/`UNLOCK` pairs).
+#[derive(Debug, Default)]
+struct LockState {
+    held_by: Option<usize>,
+    /// FIFO of blocked nodes with their arrival times.
+    waiters: std::collections::VecDeque<(usize, Cycles)>,
+}
+
+/// The machine simulator.
+pub struct Machine<'t> {
+    cfg: SimConfig,
+    arch: Arch,
+    trace: &'t Trace,
+    homes: Vec<NodeId>,
+    dir: Directory,
+    net: Network,
+    mems: Vec<LocalMemory>,
+    nodes: Vec<NodeCtx<'t>>,
+    sched: Scheduler,
+    locks: Vec<LockState>,
+    proto_stats: ProtoStats,
+    barrier_arrivals: Vec<Option<Cycles>>,
+    active: usize,
+    private_base: u64,
+}
+
+impl<'t> Machine<'t> {
+    /// Build a machine for `trace` under `arch` and `cfg`.
+    pub fn new(trace: &'t Trace, arch: Arch, cfg: &SimConfig) -> Self {
+        cfg.validate();
+        assert!(trace.nodes >= 1 && trace.nodes <= 64);
+        let geo = cfg.geometry;
+        let homes = assign_homes(&trace.first_toucher, trace.nodes);
+        let dir = Directory::new(geo, trace.shared_pages, trace.nodes);
+        let net = Network::new(Topology::paper(trace.nodes), cfg.net);
+        let mems = (0..trace.nodes)
+            .map(|_| LocalMemory::new(cfg.mem, geo.block_bytes()))
+            .collect();
+
+        let mut home_count = vec![0u32; trace.nodes];
+        for h in &homes {
+            home_count[h.idx()] += 1;
+        }
+
+        let nodes = (0..trace.nodes)
+            .map(|n| {
+                let pool = FramePool::from_pressure(
+                    home_count[n].max(1),
+                    cfg.pressure,
+                    cfg.free_min_frac,
+                    cfg.free_target_frac,
+                );
+                NodeCtx {
+                    clock: 0,
+                    runner: TraceRunner::new(&trace.programs[n]),
+                    l1: DirectMappedCache::new_assoc(
+                        cfg.l1_bytes,
+                        geo.line_bytes(),
+                        cfg.l1_ways,
+                    ),
+                    rac: (cfg.rac_bytes > 0).then(|| {
+                        DirectMappedCache::new(cfg.rac_bytes, geo.block_bytes())
+                    }),
+                    pt: PageTable::new(trace.shared_pages, geo.blocks_per_page()),
+                    tlb: Tlb::paper(),
+                    pool,
+                    daemon: PageoutDaemon::new(cfg.kernel.daemon_period),
+                    pol: PolicyState::new(arch, cfg.policy),
+                    exec: ExecBreakdown::default(),
+                    miss: MissBreakdown::default(),
+                    lat: MissLatency::default(),
+                    kstats: KernelStats::default(),
+                    remote_touched: vec![false; trace.shared_pages as usize],
+                    upgraded: vec![false; trace.shared_pages as usize],
+                    done: false,
+                    finish: 0,
+                    at_barrier: false,
+                }
+            })
+            .collect();
+
+        Self {
+            cfg: *cfg,
+            arch,
+            trace,
+            homes,
+            dir,
+            net,
+            mems,
+            nodes,
+            sched: Scheduler::with_nodes(trace.nodes),
+            locks: Vec::new(),
+            proto_stats: ProtoStats::default(),
+            barrier_arrivals: vec![None; trace.nodes],
+            active: trace.nodes,
+            private_base: trace.shared_pages * geo.page_bytes(),
+        }
+    }
+
+    /// Run to completion and collect results.
+    pub fn run(mut self) -> RunResult {
+        while let Some((node, _t)) = self.sched.pop() {
+            self.step(node.idx());
+        }
+        assert!(
+            self.nodes.iter().all(|n| n.done),
+            "deadlock: nodes blocked at a barrier at end of run"
+        );
+        if self.cfg.check_invariants {
+            self.check_invariants();
+        }
+        self.collect()
+    }
+
+    /// Machine-wide invariants tying the substrates together.  These are
+    /// what the miss classification relies on:
+    ///
+    /// 1. An S-COMA valid bit implies directory copyset membership (data
+    ///    cached locally is always tracked at the home).
+    /// 2. A block's dirty owner is always in its copyset.
+    /// 3. Per node: free frames + S-COMA-resident pages = page-cache
+    ///    capacity (no frame leaks through remap/relocation/daemon paths).
+    /// 4. Replicas only exist on never-written pages, S-COMA-mapped at
+    ///    their holders.
+    pub fn check_invariants(&self) {
+        let geo = self.cfg.geometry;
+        for (n, ctx) in self.nodes.iter().enumerate() {
+            let node = NodeId(n as u16);
+            // (3) frame accounting.
+            assert_eq!(
+                ctx.pool.free_count() + ctx.pt.scoma_count() as u32,
+                ctx.pool.cache_frames(),
+                "node {n}: frame leak (free {} + resident {} != capacity {})",
+                ctx.pool.free_count(),
+                ctx.pt.scoma_count(),
+                ctx.pool.cache_frames()
+            );
+            // (1) valid bit => copyset membership.
+            for &page in ctx.pt.scoma_pages() {
+                for b in 0..geo.blocks_per_page() {
+                    if ctx.pt.block_valid(page, b) {
+                        let block = geo.block_id(page, b);
+                        assert!(
+                            self.dir.in_copyset(node, block),
+                            "node {n}: valid S-COMA block {block:?} of {page} not in copyset"
+                        );
+                    }
+                }
+            }
+        }
+        // (2) owners are sharers; (4) replica constraints.
+        for page in 0..self.trace.shared_pages {
+            let page = VPage(page);
+            for b in 0..geo.blocks_per_page() {
+                let block = geo.block_id(page, b);
+                if let Some(o) = self.dir.owner_of(block) {
+                    assert!(
+                        self.dir.in_copyset(o, block),
+                        "owner {o} of block {block:?} not in its copyset"
+                    );
+                }
+            }
+            let replicas = self.dir.replicas_of(page);
+            if !replicas.is_empty() {
+                assert!(
+                    !self.dir.page_written(page),
+                    "replicated page {page} has been written"
+                );
+                for r in replicas.iter() {
+                    assert!(
+                        self.nodes[r.idx()].pt.mode(page).is_scoma(),
+                        "replica holder {r} of {page} not S-COMA-mapped"
+                    );
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, n: usize) {
+        let op = self.nodes[n].runner.next();
+        match op {
+            None => {
+                self.nodes[n].done = true;
+                self.nodes[n].finish = self.nodes[n].clock;
+                self.active -= 1;
+                self.maybe_release_barrier();
+            }
+            Some(Op::Compute(c)) => {
+                self.charge(n, Bucket::Instr, c);
+                self.push(n);
+            }
+            Some(Op::Barrier) => {
+                self.nodes[n].at_barrier = true;
+                self.barrier_arrivals[n] = Some(self.nodes[n].clock);
+                self.maybe_release_barrier();
+            }
+            Some(Op::Lock(l)) => self.lock(n, l as usize),
+            Some(Op::Unlock(l)) => {
+                self.unlock(n, l as usize);
+                self.push(n);
+            }
+            Some(Op::Access {
+                addr,
+                write,
+                private,
+                pre_compute,
+            }) => {
+                if pre_compute > 0 {
+                    self.charge(n, Bucket::Instr, pre_compute as Cycles);
+                }
+                if private {
+                    self.private_access(n, VAddr(self.private_base + addr.0), write);
+                } else {
+                    self.shared_access(n, addr, write);
+                }
+                self.push(n);
+            }
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, n: usize) {
+        self.sched.push(NodeId(n as u16), self.nodes[n].clock);
+    }
+
+    #[inline]
+    fn charge(&mut self, n: usize, bucket: Bucket, cycles: Cycles) {
+        let node = &mut self.nodes[n];
+        node.clock += cycles;
+        match bucket {
+            Bucket::ShMem => node.exec.u_sh_mem += cycles,
+            Bucket::LcMem => node.exec.u_lc_mem += cycles,
+            Bucket::KBase => node.exec.k_base += cycles,
+            Bucket::KOverhd => node.exec.k_overhd += cycles,
+            Bucket::Instr => node.exec.u_instr += cycles,
+        }
+    }
+
+    fn maybe_release_barrier(&mut self) {
+        if self.active == 0 {
+            return;
+        }
+        let waiting = self.nodes.iter().filter(|n| n.at_barrier).count();
+        if waiting < self.active {
+            return;
+        }
+        let release = self
+            .barrier_arrivals
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        if self.cfg.check_invariants {
+            self.check_invariants();
+        }
+        let cost = self.cfg.kernel.barrier_cost;
+        for n in 0..self.nodes.len() {
+            if let Some(arrived) = self.barrier_arrivals[n].take() {
+                let wait = release - arrived;
+                self.nodes[n].exec.sync += wait + cost;
+                self.nodes[n].clock = release + cost;
+                self.nodes[n].at_barrier = false;
+                self.push(n);
+            }
+        }
+    }
+
+    /// Acquire lock `l` for node `n`: an uncontended acquire costs one
+    /// synchronization round trip; a contended one blocks the node until
+    /// the holder releases (FIFO hand-off), with the wait charged to
+    /// `SYNC` exactly like the paper's lock-stall accounting.
+    fn lock(&mut self, n: usize, l: usize) {
+        if self.locks.len() <= l {
+            self.locks.resize_with(l + 1, LockState::default);
+        }
+        let cost = self.cfg.kernel.barrier_cost;
+        self.charge_sync(n, cost);
+        self.nodes[n].kstats.lock_acquires += 1;
+        let now = self.nodes[n].clock;
+        let lock = &mut self.locks[l];
+        match lock.held_by {
+            None => {
+                lock.held_by = Some(n);
+                self.push(n);
+            }
+            Some(holder) => {
+                debug_assert_ne!(holder, n, "re-acquire of held lock {l}");
+                lock.waiters.push_back((n, now));
+                self.nodes[n].kstats.lock_contended += 1;
+                // Blocked: not rescheduled until the holder releases.
+            }
+        }
+    }
+
+    /// Release lock `l`, handing it to the first waiter (if any) and
+    /// charging that waiter's spin time to `SYNC`.
+    fn unlock(&mut self, n: usize, l: usize) {
+        let cost = self.cfg.kernel.barrier_cost / 2;
+        self.charge_sync(n, cost);
+        let release_time = self.nodes[n].clock;
+        let lock = self
+            .locks
+            .get_mut(l)
+            .unwrap_or_else(|| panic!("unlock of unknown lock {l}"));
+        assert_eq!(lock.held_by, Some(n), "unlock by non-holder of lock {l}");
+        match lock.waiters.pop_front() {
+            None => lock.held_by = None,
+            Some((w, arrived)) => {
+                lock.held_by = Some(w);
+                let wake = release_time.max(arrived);
+                let waited = wake - self.nodes[w].clock;
+                self.nodes[w].exec.sync += waited;
+                self.nodes[w].clock = wake;
+                self.push(w);
+            }
+        }
+    }
+
+    #[inline]
+    fn charge_sync(&mut self, n: usize, cycles: Cycles) {
+        let node = &mut self.nodes[n];
+        node.clock += cycles;
+        node.exec.sync += cycles;
+    }
+
+    // ----- private (non-shared) memory -----
+
+    fn private_access(&mut self, n: usize, addr: VAddr, write: bool) {
+        let now = self.nodes[n].clock;
+        match self.nodes[n].l1.access(addr, write) {
+            Lookup::Hit => self.charge(n, Bucket::LcMem, self.cfg.mem.l1_hit),
+            Lookup::MissEmpty | Lookup::MissConflict(_) => {
+                let done =
+                    self.mems[n].local_fetch(now, addr.0, self.cfg.geometry.line_bytes());
+                self.fill_l1(n, addr, write);
+                let lat = done - now + self.cfg.mem.l1_hit;
+                self.charge(n, Bucket::LcMem, lat);
+            }
+        }
+    }
+
+    /// Fill the L1, handling the victim writeback (dirty victims reserve
+    /// the bus and return ownership to the directory; clean victims are
+    /// silent, so the directory keeps them in the copyset — exactly the
+    /// property that makes later re-requests count as *refetches*).
+    fn fill_l1(&mut self, n: usize, addr: VAddr, write: bool) {
+        let now = self.nodes[n].clock;
+        if let Some(victim) = self.nodes[n].l1.fill(addr, write) {
+            if victim.dirty {
+                self.mems[n]
+                    .bus
+                    .transact(now, self.cfg.geometry.line_bytes());
+                if victim.addr.0 < self.private_base {
+                    let block = self.cfg.geometry.block_of(victim.addr);
+                    self.dir.writeback(NodeId(n as u16), block);
+                    self.proto_stats.record_writeback();
+                } else {
+                    // Private victim: bank write (no coherence).
+                    self.mems[n].dram.access(now, victim.addr.0);
+                }
+            }
+        }
+    }
+
+    // ----- shared memory -----
+
+    fn shared_access(&mut self, n: usize, addr: VAddr, write: bool) {
+        let geo = self.cfg.geometry;
+        let node = NodeId(n as u16);
+        let block = geo.block_of(addr);
+        let page = geo.page_of(addr);
+
+        // TLB lookup (software-filled on the modeled PA-RISC): the fill
+        // handler is essential kernel work, charged to K-BASE.
+        if !self.nodes[n].tlb.access(page) {
+            self.charge(n, Bucket::KBase, self.cfg.kernel.tlb_fill);
+        }
+
+        // L1 probe.
+        if let Lookup::Hit = self.nodes[n].l1.access(addr, write) {
+            self.nodes[n].pt.touch(page);
+            if write && self.cfg.policy.replicate_read_only {
+                self.collapse_replicas(n, page);
+            }
+            if write && self.dir.owner_of(block) != Some(node) {
+                // Write hit without exclusivity: permission upgrade.
+                self.permission_upgrade(n, page, block);
+            }
+            self.charge(n, Bucket::ShMem, self.cfg.mem.l1_hit);
+            return;
+        }
+        self.charge(n, Bucket::ShMem, self.cfg.mem.l1_hit);
+        self.nodes[n].pt.touch(page);
+
+        // Read-only replication extension: the first write to a
+        // replicated page collapses every replica back to CC-NUMA.
+        if write && self.cfg.policy.replicate_read_only {
+            self.collapse_replicas(n, page);
+        }
+
+        // Ensure the page is mapped.
+        let home = self.homes[page.0 as usize];
+        if self.nodes[n].pt.mode(page) == PageMode::Unmapped {
+            self.handle_fault(n, page, home);
+        }
+        // Pure S-COMA: a page evicted to "NUMA" mode is effectively
+        // unmapped and must be re-faulted into a frame (this is the
+        // thrashing loop that sinks S-COMA at high pressure).
+        if self.arch == Arch::Scoma && self.nodes[n].pt.mode(page) == PageMode::Numa {
+            self.scoma_refault(n, page);
+        }
+
+        match self.nodes[n].pt.mode(page) {
+            PageMode::Unmapped => unreachable!("fault established a mapping"),
+            PageMode::Home => self.home_miss(n, page, block, addr, write),
+            PageMode::Scoma { .. } => self.scoma_miss(n, page, block, addr, write),
+            PageMode::Numa => self.numa_miss(n, page, block, addr, write, home),
+        }
+    }
+
+    /// Miss on a page homed at this node.
+    fn home_miss(&mut self, n: usize, page: VPage, block: ascoma_sim::addr::BlockId, addr: VAddr, write: bool) {
+        let node = NodeId(n as u16);
+        let out = self.dir.fetch(node, block, write);
+        self.proto_stats
+            .record_fetch(out.forward_from.is_none(), out.forward_from.is_some(), out.invalidate.len());
+        self.apply_invalidations(out.invalidate, block, page);
+        let now = self.nodes[n].clock;
+        if let Some(owner) = out.forward_from {
+            // Dirty at a remote node: fetch it back (2-hop: we are home).
+            let t = self.mems[n].bus.transact(now, 0);
+            let t = t + self.cfg.mem.dir_lookup;
+            let t = self.net.send(t, node, owner, 0);
+            let t = t + self.cfg.mem.dsm_occupancy;
+            let t = self.mems[owner.idx()].local_fetch(t, addr.0, self.cfg.geometry.block_bytes());
+            let t = self.net.send(t, owner, node, self.cfg.geometry.block_bytes());
+            let t = self.mems[n].bus.transact(t, self.cfg.geometry.block_bytes());
+            self.count_remote_class(n, out.class);
+            self.nodes[n].lat.remote_cycles += t - now;
+            self.charge(n, Bucket::ShMem, t - now);
+        } else {
+            let inval_done = self.invalidation_round(n, out.invalidate, write);
+            let done = self.mems[n].local_fetch(now, addr.0, self.cfg.geometry.line_bytes());
+            self.nodes[n].miss.home += 1;
+            self.nodes[n].lat.home_cycles += done.max(inval_done) - now;
+            self.charge(n, Bucket::ShMem, done.max(inval_done) - now);
+        }
+        self.fill_l1(n, addr, write);
+    }
+
+    /// Miss on an S-COMA-mapped page.
+    fn scoma_miss(&mut self, n: usize, page: VPage, block: ascoma_sim::addr::BlockId, addr: VAddr, write: bool) {
+        let geo = self.cfg.geometry;
+        let node = NodeId(n as u16);
+        let bin = geo.block_in_page(addr);
+        if self.nodes[n].pt.block_valid(page, bin) {
+            // Valid data in the page cache.
+            let now = self.nodes[n].clock;
+            if write && self.dir.owner_of(block) != Some(node) {
+                self.permission_upgrade(n, page, block);
+            }
+            let now2 = self.nodes[n].clock.max(now);
+            let done = self.mems[n].local_fetch(now2, addr.0, geo.line_bytes());
+            self.nodes[n].miss.scoma += 1;
+            self.nodes[n].lat.scoma_cycles += done - now2;
+            self.charge(n, Bucket::ShMem, done - now2);
+            self.fill_l1(n, addr, write);
+        } else {
+            // Invalid block: fetch remotely and fill the frame.
+            let out = self.dir.fetch(node, block, write);
+            self.proto_stats
+                .record_fetch(false, out.forward_from.is_some(), out.invalidate.len());
+            self.apply_invalidations(out.invalidate, block, page);
+            let home = self.homes[page.0 as usize];
+            let lat = self.remote_fetch(n, home, out.forward_from, out.invalidate, addr, write);
+            self.count_remote_class(n, out.class);
+            self.nodes[n].lat.remote_cycles += lat;
+            self.charge(n, Bucket::ShMem, lat);
+            self.nodes[n].pt.set_block_valid(page, bin);
+            if out.class == FetchClass::Refetch {
+                self.nodes[n].pt.count_local_refetch(page);
+            }
+            // The DSM engine stores the received block into the frame.
+            let now = self.nodes[n].clock;
+            self.mems[n].dram.access(now, addr.0);
+            self.fill_l1(n, addr, write);
+        }
+    }
+
+    /// Miss on a CC-NUMA-mapped page: RAC probe, then remote.
+    fn numa_miss(
+        &mut self,
+        n: usize,
+        page: VPage,
+        block: ascoma_sim::addr::BlockId,
+        addr: VAddr,
+        write: bool,
+        home: NodeId,
+    ) {
+        let geo = self.cfg.geometry;
+        let node = NodeId(n as u16);
+        let rac_hit = self.nodes[n]
+            .rac
+            .as_mut()
+            .map(|rac| matches!(rac.access(addr, false), Lookup::Hit))
+            .unwrap_or(false);
+        if rac_hit {
+            let now = self.nodes[n].clock;
+            if write && self.dir.owner_of(block) != Some(node) {
+                self.permission_upgrade(n, page, block);
+            }
+            let now2 = self.nodes[n].clock.max(now);
+            let done = self.mems[n].rac_fetch(now2, geo.line_bytes());
+            self.nodes[n].miss.rac += 1;
+            self.nodes[n].lat.rac_cycles += done - now2;
+            self.charge(n, Bucket::ShMem, done - now2);
+            self.fill_l1(n, addr, write);
+            return;
+        }
+
+        let out = self.dir.fetch(node, block, write);
+        self.proto_stats
+            .record_fetch(false, out.forward_from.is_some(), out.invalidate.len());
+        self.apply_invalidations(out.invalidate, block, page);
+        let lat = self.remote_fetch(n, home, out.forward_from, out.invalidate, addr, write);
+        self.count_remote_class(n, out.class);
+        self.nodes[n].lat.remote_cycles += lat;
+        self.charge(n, Bucket::ShMem, lat);
+        if let Some(rac) = self.nodes[n].rac.as_mut() {
+            rac.fill(addr, false);
+        }
+        self.fill_l1(n, addr, write);
+
+        // Relocation notice piggybacked on the response?
+        if out.class == FetchClass::Refetch
+            && self.nodes[n].pol.should_relocate(out.refetch_count)
+        {
+            self.proto_stats.record_notice();
+            self.relocate(n, page);
+        }
+    }
+
+    /// The full remote-fetch latency composition (DESIGN.md §4 budget:
+    /// ~190 cycles zero-contention for the 2-hop clean case).
+    fn remote_fetch(
+        &mut self,
+        n: usize,
+        home: NodeId,
+        forward: Option<NodeId>,
+        invalidate: NodeSet,
+        addr: VAddr,
+        write: bool,
+    ) -> Cycles {
+        let geo = self.cfg.geometry;
+        let node = NodeId(n as u16);
+        let now = self.nodes[n].clock;
+        // Request: local bus, network to home, home directory.
+        let t = self.mems[n].bus.transact(now, 0);
+        let t = self.net.send(t, node, home, 0);
+        let t = t + self.cfg.mem.dir_lookup + self.cfg.mem.dsm_occupancy;
+        // Write fetches must collect invalidation acks before the grant.
+        let inval_done = if write {
+            self.invalidation_fanout(t, home, invalidate)
+        } else {
+            0
+        };
+        // Data supply: home memory, or forward to the dirty owner.
+        let (from, data_ready) = match forward {
+            None => {
+                if home == node {
+                    (home, t) // degenerate; home misses use home_miss()
+                } else {
+                    (home, self.mems[home.idx()].local_fetch(t, addr.0, geo.block_bytes()))
+                }
+            }
+            Some(o) => {
+                let tf = self.net.send(t, home, o, 0);
+                let tf = tf + self.cfg.mem.dsm_occupancy;
+                let tf = self.mems[o.idx()].local_fetch(tf, addr.0, geo.block_bytes());
+                (o, tf)
+            }
+        };
+        let t = data_ready.max(inval_done);
+        let t = self.net.send(t, from, node, geo.block_bytes());
+        let t = self.mems[n].bus.transact(t, geo.block_bytes());
+        t - now
+    }
+
+    /// Invalidation fan-out from `home` at time `t`; returns when the last
+    /// ack is home.
+    fn invalidation_fanout(&mut self, t: Cycles, home: NodeId, targets: NodeSet) -> Cycles {
+        let mut done = 0;
+        for o in targets.iter() {
+            let ti = self.net.send(t, home, o, 0);
+            let ti = self.mems[o.idx()].bus.transact(ti, 0);
+            let ti = self.net.send(ti, o, home, 0);
+            done = done.max(ti);
+        }
+        done
+    }
+
+    /// Invalidation round trip for a *local* write at the home (no data
+    /// movement; acks return to the home, i.e. the writer).
+    fn invalidation_round(&mut self, n: usize, targets: NodeSet, write: bool) -> Cycles {
+        if !write || targets.is_empty() {
+            return 0;
+        }
+        let node = NodeId(n as u16);
+        let t = self.nodes[n].clock + self.cfg.mem.dir_lookup;
+        self.invalidation_fanout(t, node, targets)
+    }
+
+    /// Permission-only upgrade for a write hit on shared data.
+    fn permission_upgrade(&mut self, n: usize, page: VPage, block: ascoma_sim::addr::BlockId) {
+        let node = NodeId(n as u16);
+        let home = self.homes[page.0 as usize];
+        let targets = self.dir.upgrade(node, block);
+        self.proto_stats.record_upgrade(targets.len());
+        self.apply_invalidations(targets, block, page);
+        let now = self.nodes[n].clock;
+        let t = if home == node {
+            now + self.cfg.mem.dir_lookup
+        } else {
+            let t = self.mems[n].bus.transact(now, 0);
+            let t = self.net.send(t, node, home, 0);
+            t + self.cfg.mem.dir_lookup + self.cfg.mem.dsm_occupancy
+        };
+        let acks = self.invalidation_fanout(t, home, targets);
+        let t = acks.max(t);
+        let t = if home == node {
+            t
+        } else {
+            self.net.send(t, home, node, 0)
+        };
+        self.charge(n, Bucket::ShMem, t - now);
+    }
+
+    /// Drop invalidated copies from the other nodes' caches and S-COMA
+    /// valid bits (their next miss to this block classifies as a
+    /// coherence miss at the directory).
+    fn apply_invalidations(&mut self, targets: NodeSet, block: ascoma_sim::addr::BlockId, page: VPage) {
+        if targets.is_empty() {
+            return;
+        }
+        let geo = self.cfg.geometry;
+        let base = geo.block_base(block);
+        let bin = geo.block_index_in_page(block);
+        for o in targets.iter() {
+            let ctx = &mut self.nodes[o.idx()];
+            ctx.l1.invalidate_range(base, geo.block_bytes());
+            if let Some(rac) = ctx.rac.as_mut() {
+                rac.invalidate_range(base, geo.block_bytes());
+            }
+            if ctx.pt.mode(page).is_scoma() {
+                ctx.pt.clear_block_valid(page, bin);
+            }
+        }
+    }
+
+    fn count_remote_class(&mut self, n: usize, class: FetchClass) {
+        let m = &mut self.nodes[n].miss;
+        match class {
+            FetchClass::ColdEssential => m.cold_essential += 1,
+            FetchClass::ColdInduced => m.cold_induced += 1,
+            FetchClass::Refetch => m.conf_capc += 1,
+            FetchClass::Coherence => m.coherence += 1,
+        }
+    }
+
+    // ----- faults, relocation, replacement -----
+
+    /// Collapse every read-only replica of `page` (including the
+    /// writer's own) back to a CC-NUMA mapping: the replication
+    /// extension's coherence action on the first write.  The writer pays
+    /// an invalidation round trip; each holder pays a remap.
+    fn collapse_replicas(&mut self, n: usize, page: VPage) {
+        let node = NodeId(n as u16);
+        let holders = self.dir.collapse_replicas(node, page);
+        // The writer's own replica (if any) collapses too: replicas are
+        // read-only by construction.
+        if self.arch == Arch::CcNuma && self.nodes[n].pt.mode(page).is_scoma() {
+            let frame = self.nodes[n].pt.unmap_scoma(page);
+            self.nodes[n].pool.release(frame);
+            self.nodes[n].tlb.invalidate(page);
+            self.charge(n, Bucket::KOverhd, self.cfg.kernel.remap);
+            self.nodes[n].kstats.replica_collapses += 1;
+        }
+        if holders.is_empty() {
+            return;
+        }
+        let geo = self.cfg.geometry;
+        let base = geo.page_base(page);
+        for o in holders.iter() {
+            let ctx = &mut self.nodes[o.idx()];
+            if !ctx.pt.mode(page).is_scoma() {
+                continue;
+            }
+            ctx.l1.invalidate_range(base, geo.page_bytes());
+            if let Some(rac) = ctx.rac.as_mut() {
+                rac.invalidate_range(base, geo.page_bytes());
+            }
+            let frame = ctx.pt.unmap_scoma(page);
+            ctx.pool.release(frame);
+            ctx.tlb.invalidate(page);
+            ctx.exec.k_overhd += self.cfg.kernel.remap;
+            ctx.clock += self.cfg.kernel.remap;
+            ctx.kstats.replica_collapses += 1;
+        }
+        // Shoot-down round trip charged to the writer.
+        let now = self.nodes[n].clock;
+        let done = self.invalidation_fanout(now + self.cfg.mem.dir_lookup, node, holders);
+        if done > now {
+            self.charge(n, Bucket::ShMem, done - now);
+        }
+    }
+
+    /// First-touch page fault: establish the page's mapping.
+    fn handle_fault(&mut self, n: usize, page: VPage, home: NodeId) {
+        self.charge(n, Bucket::KBase, self.cfg.kernel.page_fault);
+        self.nodes[n].kstats.page_faults += 1;
+        if home == NodeId(n as u16) {
+            self.nodes[n].pt.map_home(page);
+            return;
+        }
+        self.nodes[n].remote_touched[page.0 as usize] = true;
+        // Read-only replication extension (CC-NUMA only): back
+        // never-written remote pages with a local frame.
+        if self.arch == Arch::CcNuma
+            && self.cfg.policy.replicate_read_only
+            && !self.dir.page_written(page)
+        {
+            if let Some(frame) = self.nodes[n].pool.alloc() {
+                self.nodes[n].pt.map_scoma(page, frame);
+                self.dir.add_replica(NodeId(n as u16), page);
+                self.nodes[n].kstats.replications += 1;
+                return;
+            }
+        }
+        let free = self.nodes[n].pool.free_count() > 0;
+        match self.nodes[n].pol.initial_map(free) {
+            MapChoice::Numa => self.nodes[n].pt.map_numa(page),
+            MapChoice::Scoma => {
+                if let Some(frame) = self.acquire_frame(n) {
+                    self.nodes[n].pt.map_scoma(page, frame);
+                    self.top_up_pool(n);
+                } else {
+                    self.nodes[n].pt.map_numa(page);
+                }
+            }
+        }
+    }
+
+    /// Pure S-COMA re-fault of an evicted page (mode "Numa" is S-COMA's
+    /// unmapped state): charge remap overhead and grab a frame, evicting
+    /// on the spot if needed.
+    fn scoma_refault(&mut self, n: usize, page: VPage) {
+        self.charge(n, Bucket::KOverhd, self.cfg.kernel.remap);
+        if let Some(frame) = self.acquire_frame(n) {
+            self.nodes[n].pt.map_scoma(page, frame);
+            self.top_up_pool(n);
+        }
+        // With zero cache frames the access falls through in NUMA mode
+        // (documented deviation: the paper never runs S-COMA above 90%
+        // pressure, where at least a few frames remain).
+    }
+
+    /// Get a frame per the policy's source rules.  May run the daemon or
+    /// evict a victim; charges all kernel costs.
+    fn acquire_frame(&mut self, n: usize) -> Option<u32> {
+        if let Some(f) = self.nodes[n].pool.alloc() {
+            return Some(f);
+        }
+        match self.nodes[n].pol.frame_source() {
+            FrameSource::PoolOnly => {
+                // AS-COMA: one daemon attempt, then give up.
+                self.run_daemon(n);
+                self.nodes[n].pool.alloc()
+            }
+            FrameSource::PoolOrVictim => {
+                let victim = {
+                    let NodeCtx { daemon, pt, .. } = &mut self.nodes[n];
+                    daemon.pick_victim(pt)?
+                };
+                let absorbed = self.nodes[n].pt.local_refetches(victim);
+                let frame = self.evict_page(n, victim);
+                let cache_frames = self.nodes[n].pool.cache_frames();
+                self.nodes[n].pol.on_vc_replacement(absorbed, cache_frames);
+                Some(frame)
+            }
+        }
+    }
+
+    /// If this policy maintains the pool with the daemon and we've fallen
+    /// below `free_min`, run it.
+    fn top_up_pool(&mut self, n: usize) {
+        if self.nodes[n].pol.uses_daemon()
+            && self.nodes[n].pool.below_min()
+            && self.nodes[n].daemon.may_run(self.nodes[n].clock)
+        {
+            self.run_daemon(n);
+        }
+    }
+
+    /// One pageout-daemon invocation: select cold victims, flush and
+    /// release them, and report the outcome to the policy (AS-COMA's
+    /// thrashing detector).
+    fn run_daemon(&mut self, n: usize) {
+        if !self.nodes[n].daemon.may_run(self.nodes[n].clock) {
+            return;
+        }
+        let deficit = self.nodes[n].pool.deficit();
+        let now = self.nodes[n].clock;
+        let out = {
+            let ctx = &mut self.nodes[n];
+            // Split borrow: daemon and page table are separate fields.
+            let NodeCtx { daemon, pt, .. } = ctx;
+            daemon.run(now, pt, deficit)
+        };
+        self.charge(n, Bucket::KOverhd, self.cfg.kernel.daemon_cost(out.examined));
+        self.nodes[n].kstats.daemon_runs += 1;
+        if !out.reached_target {
+            self.nodes[n].kstats.daemon_failures += 1;
+        }
+        for v in &out.victims {
+            let frame = self.evict_page(n, *v);
+            self.nodes[n].pool.release(frame);
+            self.nodes[n].kstats.pages_reclaimed += 1;
+        }
+        let adj = self.nodes[n].pol.on_daemon_result(out.reached_target);
+        let (raises, drops) = self.nodes[n].pol.backoff_stats();
+        self.nodes[n].kstats.threshold_raises = raises;
+        self.nodes[n].kstats.threshold_drops = drops;
+        self.nodes[n].daemon.period = adjust_period(
+            self.nodes[n].daemon.period,
+            adj,
+            self.cfg.kernel.daemon_period,
+        );
+    }
+
+    /// Evict an S-COMA page: flush caches, write dirty blocks home, drop
+    /// the node from the page's copysets (marking induced-cold), unmap.
+    /// Returns the freed frame.
+    fn evict_page(&mut self, n: usize, page: VPage) -> u32 {
+        let geo = self.cfg.geometry;
+        let node = NodeId(n as u16);
+        let base = geo.page_base(page);
+        self.nodes[n].l1.invalidate_range(base, geo.page_bytes());
+        if let Some(rac) = self.nodes[n].rac.as_mut() {
+            rac.invalidate_range(base, geo.page_bytes());
+        }
+        let (dropped, _dirty) = self.dir.flush_page(node, page);
+        let cost = self.cfg.kernel.remap
+            + self.cfg.kernel.flush_per_block * dropped as Cycles;
+        self.charge(n, Bucket::KOverhd, cost);
+        self.nodes[n].tlb.invalidate(page);
+        self.nodes[n].kstats.blocks_flushed += dropped as u64;
+        self.nodes[n].kstats.downgrades += 1;
+        self.nodes[n].pt.unmap_scoma(page)
+    }
+
+    /// CC-NUMA -> S-COMA relocation (the refetch-threshold interrupt).
+    fn relocate(&mut self, n: usize, page: VPage) {
+        let node = NodeId(n as u16);
+        self.nodes[n].kstats.relocation_interrupts += 1;
+        self.charge(n, Bucket::KOverhd, self.cfg.kernel.relocation_interrupt);
+        match self.acquire_frame(n) {
+            None => {
+                // AS-COMA under pressure: leave the page in CC-NUMA mode.
+                // Reset the counter so the next notice needs a fresh run
+                // of refetches (hysteresis).
+                self.dir.reset_refetch(page, node);
+            }
+            Some(frame) => {
+                let geo = self.cfg.geometry;
+                let base = geo.page_base(page);
+                self.nodes[n].l1.invalidate_range(base, geo.page_bytes());
+                if let Some(rac) = self.nodes[n].rac.as_mut() {
+                    rac.invalidate_range(base, geo.page_bytes());
+                }
+                let (dropped, _dirty) = self.dir.flush_page(node, page);
+                let cost = self.cfg.kernel.remap
+                    + self.cfg.kernel.flush_per_block * dropped as Cycles;
+                self.charge(n, Bucket::KOverhd, cost);
+                self.nodes[n].kstats.blocks_flushed += dropped as u64;
+                self.nodes[n].tlb.invalidate(page);
+                self.nodes[n].pt.map_scoma(page, frame);
+                self.dir.reset_refetch(page, node);
+                self.nodes[n].kstats.upgrades += 1;
+                self.nodes[n].upgraded[page.0 as usize] = true;
+                self.top_up_pool(n);
+            }
+        }
+    }
+
+    // ----- results -----
+
+    fn collect(self) -> RunResult {
+        let mut exec = ExecBreakdown::default();
+        let mut miss = MissBreakdown::default();
+        let mut lat = MissLatency::default();
+        let mut kernel = KernelStats::default();
+        let mut exec_per_node = Vec::with_capacity(self.nodes.len());
+        let mut remote_pairs = 0u64;
+        let mut relocated_pairs = 0u64;
+        let mut thresholds = Vec::with_capacity(self.nodes.len());
+        let mut cycles = 0;
+        for ctx in &self.nodes {
+            exec.add(&ctx.exec);
+            miss.add(&ctx.miss);
+            lat.add(&ctx.lat);
+            kernel.add(&ctx.kstats);
+            exec_per_node.push(ctx.exec);
+            remote_pairs += ctx.remote_touched.iter().filter(|&&t| t).count() as u64;
+            relocated_pairs += ctx.upgraded.iter().filter(|&&t| t).count() as u64;
+            thresholds.push(ctx.pol.threshold());
+            cycles = cycles.max(ctx.finish);
+        }
+        RunResult {
+            arch: self.arch,
+            workload: self.trace.name.clone(),
+            pressure: self.cfg.pressure,
+            cycles,
+            exec,
+            exec_per_node,
+            miss,
+            latency: lat,
+            kernel,
+            proto: self.proto_stats,
+            remote_page_node_pairs: remote_pairs,
+            relocated_page_node_pairs: relocated_pairs,
+            final_thresholds: thresholds,
+            net_messages: self.net.messages(),
+            net_queued_cycles: self.net.port_queued_cycles(),
+        }
+    }
+}
+
+/// Run `trace` on architecture `arch` under `cfg`.
+///
+/// ```
+/// use ascoma::{simulate, Arch, SimConfig};
+/// use ascoma_workloads::{App, SizeClass};
+///
+/// let cfg = SimConfig::at_pressure(0.5);
+/// let trace = App::Ocean.build(SizeClass::Tiny, cfg.geometry.page_bytes());
+/// let r = simulate(&trace, Arch::AsComa, &cfg);
+/// assert!(r.cycles > 0);
+/// assert_eq!(r.exec_per_node.len(), trace.nodes);
+/// ```
+pub fn simulate(trace: &Trace, arch: Arch, cfg: &SimConfig) -> RunResult {
+    Machine::new(trace, arch, cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascoma_workloads::apps::{em3d::Em3dParams, ocean::OceanParams, radix::RadixParams};
+
+    fn tiny_em3d() -> Trace {
+        Em3dParams::tiny().build(4096)
+    }
+
+    #[test]
+    fn all_architectures_complete_tiny_runs() {
+        let t = tiny_em3d();
+        for arch in Arch::ALL {
+            let r = simulate(&t, arch, &SimConfig::at_pressure(0.5));
+            assert!(r.cycles > 0, "{}", arch.name());
+            assert_eq!(r.exec_per_node.len(), t.nodes);
+            assert!(r.miss.total() > 0);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let t = tiny_em3d();
+        let cfg = SimConfig::at_pressure(0.3);
+        let a = simulate(&t, Arch::AsComa, &cfg);
+        let b = simulate(&t, Arch::AsComa, &cfg);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.miss, b.miss);
+        assert_eq!(a.exec, b.exec);
+    }
+
+    #[test]
+    fn ccnuma_never_relocates_and_uses_rac() {
+        let t = tiny_em3d();
+        let r = simulate(&t, Arch::CcNuma, &SimConfig::at_pressure(0.5));
+        assert_eq!(r.kernel.upgrades, 0);
+        assert_eq!(r.kernel.downgrades, 0);
+        assert_eq!(r.miss.scoma, 0, "CC-NUMA has no page cache");
+    }
+
+    #[test]
+    fn scoma_at_low_pressure_fills_page_cache() {
+        let t = tiny_em3d();
+        let r = simulate(&t, Arch::Scoma, &SimConfig::at_pressure(0.1));
+        // With abundant frames every remote page is cached: conflict
+        // misses to remote memory should be (almost) eliminated.
+        assert!(r.miss.scoma > 0);
+        assert_eq!(r.miss.rac, 0, "S-COMA pages bypass the RAC");
+        assert!(
+            r.miss.conf_capc < r.miss.cold_essential / 4 + 10,
+            "S-COMA at 10% pressure should satisfy conflicts locally: {:?}",
+            r.miss
+        );
+    }
+
+    #[test]
+    fn ascoma_behaves_like_scoma_at_low_pressure() {
+        let t = tiny_em3d();
+        let cfg = SimConfig::at_pressure(0.1);
+        let s = simulate(&t, Arch::Scoma, &cfg);
+        let a = simulate(&t, Arch::AsComa, &cfg);
+        let ratio = a.cycles as f64 / s.cycles as f64;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "AS-COMA {} vs S-COMA {} at 10% pressure",
+            a.cycles,
+            s.cycles
+        );
+        assert_eq!(a.kernel.daemon_failures, 0);
+    }
+
+    /// A tiny but *hot* em3d: a narrow remote window revisited many times
+    /// so per-page refetch counters cross the 64 threshold.
+    fn hot_em3d() -> Trace {
+        Em3dParams {
+            iters: 8,
+            remote_window_frac: 0.1,
+            ..Em3dParams::tiny()
+        }
+        .build(4096)
+    }
+
+    #[test]
+    fn rnuma_relocates_hot_pages() {
+        let t = hot_em3d();
+        let r = simulate(&t, Arch::RNuma, &SimConfig::at_pressure(0.3));
+        assert!(
+            r.kernel.upgrades > 0,
+            "em3d's hot remote pages must cross the refetch threshold"
+        );
+        assert!(r.relocated_page_node_pairs > 0);
+        assert!(r.relocated_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn high_pressure_triggers_ascoma_backoff() {
+        // Radix scatters over every page: at 90% pressure the daemon
+        // cannot find cold pages and AS-COMA must raise thresholds.
+        let t = RadixParams::tiny().build(4096);
+        let r = simulate(&t, Arch::AsComa, &SimConfig::at_pressure(0.9));
+        assert!(
+            r.kernel.daemon_failures > 0 || r.kernel.upgrades == 0,
+            "expected thrash detection: {:?}",
+            r.kernel
+        );
+        let raised = r.final_thresholds.iter().any(|&t| t > 64);
+        assert!(
+            raised || r.kernel.upgrades == 0,
+            "thresholds {:?}",
+            r.final_thresholds
+        );
+    }
+
+    #[test]
+    fn exec_time_equals_max_finish_and_buckets_sum() {
+        let t = tiny_em3d();
+        let r = simulate(&t, Arch::AsComa, &SimConfig::at_pressure(0.5));
+        for per in &r.exec_per_node {
+            // Each node's bucket total equals its executed cycles (its
+            // finish time), so no time is double-counted or lost.
+            assert!(per.total() > 0);
+        }
+        let max_total = r
+            .exec_per_node
+            .iter()
+            .map(|e| e.total())
+            .max()
+            .unwrap();
+        assert_eq!(r.cycles, max_total);
+    }
+
+    #[test]
+    fn ocean_remote_traffic_is_small() {
+        let t = OceanParams::tiny().build(4096);
+        let r = simulate(&t, Arch::CcNuma, &SimConfig::at_pressure(0.5));
+        let remote = r.miss.remote() as f64;
+        let total = r.miss.total() as f64;
+        assert!(
+            remote / total < 0.15,
+            "ocean remote share {} too high",
+            remote / total
+        );
+    }
+
+    #[test]
+    fn rac_ablation_runs() {
+        let t = tiny_em3d();
+        let cfg = SimConfig {
+            rac_bytes: 0,
+            ..SimConfig::at_pressure(0.5)
+        };
+        let r = simulate(&t, Arch::CcNuma, &cfg);
+        assert_eq!(r.miss.rac, 0);
+        let with = simulate(&t, Arch::CcNuma, &SimConfig::at_pressure(0.5));
+        assert!(with.miss.rac > 0, "default config must exercise the RAC");
+        assert!(with.cycles <= r.cycles, "RAC must not slow things down");
+    }
+
+    #[test]
+    fn pressure_sweep_monotonicity_for_scoma() {
+        // S-COMA should get (weakly) worse as pressure rises.
+        let t = tiny_em3d();
+        let lo = simulate(&t, Arch::Scoma, &SimConfig::at_pressure(0.1));
+        let hi = simulate(&t, Arch::Scoma, &SimConfig::at_pressure(0.9));
+        assert!(
+            hi.cycles >= lo.cycles,
+            "S-COMA high pressure {} < low pressure {}",
+            hi.cycles,
+            lo.cycles
+        );
+    }
+}
+
+#[cfg(test)]
+mod path_tests {
+    //! Focused tests of individual access-path branches.
+    use super::*;
+    use ascoma_workloads::trace::{NodeProgram, ScheduleItem, Segment};
+
+    /// Two nodes; node 0 homes page 0 (+ ballast on node 1).
+    fn two_node_trace(ops0: Vec<(u64, bool)>, ops1: Vec<(u64, bool)>) -> Trace {
+        let mk = |ops: Vec<(u64, bool)>| {
+            let mut p = NodeProgram::default();
+            let mut s = Segment::new(0);
+            for (a, w) in ops {
+                s.push(a, w);
+            }
+            let i = p.add_segment(s);
+            p.schedule = vec![ScheduleItem::Run(i), ScheduleItem::Barrier];
+            p
+        };
+        Trace {
+            name: "path".into(),
+            nodes: 2,
+            shared_pages: 2,
+            first_toucher: vec![NodeId(0), NodeId(1)],
+            programs: vec![mk(ops0), mk(ops1)],
+        }
+    }
+
+    #[test]
+    fn write_hit_upgrade_counts_no_refetch_but_invalidates() {
+        // Node 1 reads remote line; node 0 (home) reads it too; node 1
+        // then writes the same line: a permission upgrade with one
+        // invalidation, no data refetch.
+        let t = two_node_trace(
+            vec![(0, false)],
+            vec![(64, false), (64, false), (64, true)],
+        );
+        let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+        assert!(r.proto.upgrades >= 1, "{:?}", r.proto);
+        assert!(r.proto.invalidations >= 1);
+    }
+
+    #[test]
+    fn tlb_fills_land_in_k_base() {
+        let t = two_node_trace(vec![(0, false)], vec![(4096, false)]);
+        let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+        // Each node: one page fault + one TLB fill minimum.
+        let k = SimConfig::default().kernel;
+        assert!(
+            r.exec.k_base >= 2 * (k.page_fault + k.tlb_fill),
+            "K-BASE {} too small",
+            r.exec.k_base
+        );
+    }
+
+    #[test]
+    fn repeated_line_hits_cost_one_cycle() {
+        let mut ops = vec![(0u64, false)];
+        ops.extend(std::iter::repeat((0u64, false)).take(100));
+        let t = two_node_trace(ops, vec![]);
+        let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+        // 100 L1 hits at 1 cycle each on top of the single local miss.
+        let miss_cost = r.exec_per_node[0].u_sh_mem;
+        assert!(miss_cost < 59 + 100 * 2, "hits too expensive: {miss_cost}");
+        assert!(miss_cost >= 59 + 100, "hits too cheap: {miss_cost}");
+    }
+
+    #[test]
+    fn dirty_remote_home_read_fetches_back() {
+        // Node 1 writes a remote block (becomes owner); node 0 (home)
+        // then reads it: a home miss with a dirty-remote fetch-back.
+        let t = two_node_trace(vec![(0, true)], vec![(0, true)]);
+        let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+        // One of the writes happened second and saw the other's ownership.
+        assert!(
+            r.proto.fetch_3hop + r.proto.fetch_local + r.proto.fetch_2hop >= 1,
+            "{:?}",
+            r.proto
+        );
+        assert!(r.miss.coherence + r.miss.conf_capc + r.miss.cold_essential > 0);
+    }
+
+    #[test]
+    fn private_accesses_never_touch_the_directory() {
+        let mut p = NodeProgram::default();
+        let mut s = Segment::new(0);
+        for i in 0..50 {
+            s.push_private(i * 32, i % 2 == 0);
+        }
+        let i = p.add_segment(s);
+        p.schedule = vec![ScheduleItem::Run(i)];
+        let t = Trace {
+            name: "priv".into(),
+            nodes: 1,
+            shared_pages: 1,
+            first_toucher: vec![NodeId(0)],
+            programs: vec![p],
+        };
+        let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+        assert_eq!(r.miss.total(), 0, "private traffic is not shared-miss");
+        assert!(r.exec.u_lc_mem > 0);
+        assert_eq!(r.exec.u_sh_mem, 0);
+        assert_eq!(r.net_messages, 0);
+    }
+
+    #[test]
+    fn two_way_l1_reduces_local_conflict_stall() {
+        // Alternating reads of two lines 8 KB apart: they conflict in a
+        // direct-mapped 8 KB L1 but are co-resident in a 2-way one.
+        let mut prog = NodeProgram::default();
+        let mut seg = Segment::new(0);
+        for _ in 0..200 {
+            seg.push(0, false);
+            seg.push(8192, false);
+        }
+        let i = prog.add_segment(seg);
+        prog.schedule = vec![ScheduleItem::Run(i), ScheduleItem::Barrier];
+        let idle = NodeProgram {
+            schedule: vec![ScheduleItem::Barrier],
+            ..Default::default()
+        };
+        // Three pages homed at node 0 (ballast keeps the cap at 3).
+        let t = Trace {
+            name: "conflict".into(),
+            nodes: 2,
+            shared_pages: 6,
+            first_toucher: vec![
+                NodeId(0),
+                NodeId(0),
+                NodeId(0),
+                NodeId(1),
+                NodeId(1),
+                NodeId(1),
+            ],
+            programs: vec![prog, idle],
+        };
+        let direct = simulate(&t, Arch::CcNuma, &SimConfig::default());
+        let assoc = simulate(
+            &t,
+            Arch::CcNuma,
+            &SimConfig {
+                l1_ways: 2,
+                ..SimConfig::default()
+            },
+        );
+        assert!(
+            assoc.exec_per_node[0].u_sh_mem * 5 < direct.exec_per_node[0].u_sh_mem,
+            "2-way {} vs direct {}",
+            assoc.exec_per_node[0].u_sh_mem,
+            direct.exec_per_node[0].u_sh_mem
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Zero-contention latency probes: the measured reproduction of the
+//! paper's Table 4 ("Minimum Access Latency").
+//!
+//! Each location's latency is measured *differentially* through the real
+//! access path, with a single active node so no contention inflates the
+//! numbers:
+//!
+//! * **L1** — two runs differing only in repeated reads of one line; the
+//!   cycle difference per extra read is the hit latency.
+//! * **Local memory** — distinct lines of locally-homed pages, one read
+//!   each: every read is an L1 miss served by local DRAM.
+//! * **RAC** — reads of all four lines of remote blocks minus reads of
+//!   only the first line: the three extra reads per block are RAC hits.
+//! * **Remote memory** — one read per distinct remote block (every one a
+//!   cold remote fetch).
+
+use crate::config::{Arch, SimConfig};
+use crate::machine::simulate;
+use crate::result::RunResult;
+use ascoma_sim::NodeId;
+use ascoma_workloads::trace::{NodeProgram, ScheduleItem, Segment, Trace};
+
+/// Measured zero-contention latencies (cycles), Table 4's rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table4Probe {
+    /// L1 cache hit.
+    pub l1_hit: f64,
+    /// Local memory (home page) access.
+    pub local_memory: f64,
+    /// RAC hit.
+    pub rac: f64,
+    /// Remote memory (2-hop clean) access.
+    pub remote_memory: f64,
+}
+
+impl Table4Probe {
+    /// Remote : local latency ratio (the paper quotes ~3).
+    pub fn remote_local_ratio(&self) -> f64 {
+        self.remote_memory / self.local_memory.max(1.0)
+    }
+}
+
+/// Build a 2-node probe trace.  The first `home_pages` pages are homed at
+/// node 0 and an equal ballast region at node 1, so first-touch-with-cap
+/// home placement leaves the probe region entirely on node 0 (without the
+/// ballast, the cap would round-robin half the pages to node 1 and
+/// contaminate the measurement).
+fn probe_trace(home_pages: u64, node0: NodeProgram, node1: NodeProgram) -> Trace {
+    let mut first_toucher = vec![NodeId(0); home_pages as usize];
+    first_toucher.extend(vec![NodeId(1); home_pages as usize]);
+    Trace {
+        name: "probe".into(),
+        nodes: 2,
+        shared_pages: 2 * home_pages,
+        first_toucher,
+        programs: vec![node0, node1],
+    }
+}
+
+fn run(trace: &Trace, cfg: &SimConfig) -> RunResult {
+    simulate(trace, Arch::CcNuma, cfg)
+}
+
+fn reads(addrs: impl IntoIterator<Item = u64>) -> NodeProgram {
+    let mut p = NodeProgram::default();
+    let mut s = Segment::new(0);
+    for a in addrs {
+        s.push(a, false);
+    }
+    let i = p.add_segment(s);
+    p.schedule = vec![ScheduleItem::Run(i)];
+    p
+}
+
+/// Shared-memory stall cycles of node `n`.
+fn sh_mem(r: &RunResult, n: usize) -> u64 {
+    r.exec_per_node[n].u_sh_mem
+}
+
+/// Measure the four Table 4 latencies under `cfg`.
+pub fn probe_table4(cfg: &SimConfig) -> Table4Probe {
+    let geo = cfg.geometry;
+    let pb = geo.page_bytes();
+    let lb = geo.line_bytes();
+    let bb = geo.block_bytes();
+
+    // --- L1 hit: differential on repeated reads of one line. ---
+    let short = probe_trace(1, reads(std::iter::repeat(0).take(101)), reads([]));
+    let long = probe_trace(1, reads(std::iter::repeat(0).take(201)), reads([]));
+    let l1 = (sh_mem(&run(&long, cfg), 0) as f64 - sh_mem(&run(&short, cfg), 0) as f64) / 100.0;
+
+    // --- Local memory: distinct lines of home pages, one read each. ---
+    let pages = 8u64;
+    let lines_per_page = pb / lb;
+    let n_reads = pages * lines_per_page;
+    let local_trace = probe_trace(
+        pages,
+        reads((0..n_reads).map(|i| i * lb)),
+        reads([]),
+    );
+    let local = sh_mem(&run(&local_trace, cfg), 0) as f64 / n_reads as f64;
+
+    // --- Remote memory: node 1 reads one line per remote block. ---
+    let blocks = pages * (pb / bb);
+    let remote_trace = probe_trace(
+        pages,
+        reads([]),
+        reads((0..blocks).map(|i| i * bb)),
+    );
+    let remote = sh_mem(&run(&remote_trace, cfg), 1) as f64 / blocks as f64;
+
+    // --- RAC: all-lines minus first-line, per remote block. ---
+    let rac = if cfg.rac_bytes == 0 {
+        f64::NAN
+    } else {
+        let lines_per_block = bb / lb;
+        let first_only = probe_trace(
+            pages,
+            reads([]),
+            reads((0..blocks).map(|i| i * bb)),
+        );
+        let all_lines = probe_trace(
+            pages,
+            reads([]),
+            reads((0..blocks).flat_map(|i| (0..lines_per_block).map(move |l| i * bb + l * lb))),
+        );
+        let extra = sh_mem(&run(&all_lines, cfg), 1) as f64 - sh_mem(&run(&first_only, cfg), 1) as f64;
+        extra / (blocks * (lines_per_block - 1)) as f64
+    };
+
+    Table4Probe {
+        l1_hit: l1,
+        local_memory: local,
+        rac,
+        remote_memory: remote,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_matches_calibration_bands() {
+        let p = probe_table4(&SimConfig::default());
+        // Paper Table 4: 1 cycle L1, ~58 local, ~16 RAC, ~190 remote.
+        assert!(
+            (0.9..=1.5).contains(&p.l1_hit),
+            "L1 hit {} not ~1 cycle",
+            p.l1_hit
+        );
+        assert!(
+            (50.0..=70.0).contains(&p.local_memory),
+            "local {} not ~58",
+            p.local_memory
+        );
+        assert!(
+            (10.0..=25.0).contains(&p.rac),
+            "RAC {} not ~16",
+            p.rac
+        );
+        assert!(
+            (160.0..=220.0).contains(&p.remote_memory),
+            "remote {} not ~190",
+            p.remote_memory
+        );
+    }
+
+    #[test]
+    fn remote_local_ratio_near_paper() {
+        let p = probe_table4(&SimConfig::default());
+        let ratio = p.remote_local_ratio();
+        assert!(
+            (2.5..=4.0).contains(&ratio),
+            "remote:local ratio {ratio} outside the paper's ~3"
+        );
+    }
+
+    #[test]
+    fn rac_disabled_probe_is_nan() {
+        let cfg = SimConfig {
+            rac_bytes: 0,
+            ..SimConfig::default()
+        };
+        let p = probe_table4(&cfg);
+        assert!(p.rac.is_nan());
+        assert!(p.remote_memory > 0.0);
+    }
+}

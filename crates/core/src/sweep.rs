@@ -1,0 +1,219 @@
+//! Generic experiment sweeps: cross products over architectures,
+//! pressures and configuration mutations, with tabular collection.
+//!
+//! The table/figure binaries are thin wrappers over [`Sweep`]; users can
+//! build their own studies the same way:
+//!
+//! ```
+//! use ascoma::sweep::Sweep;
+//! use ascoma::{Arch, SimConfig};
+//! use ascoma_workloads::{App, SizeClass};
+//!
+//! let trace = App::Ocean.build(SizeClass::Tiny, 4096);
+//! let grid = Sweep::new(&trace)
+//!     .archs([Arch::CcNuma, Arch::AsComa])
+//!     .pressures([0.1, 0.9])
+//!     .run(&SimConfig::default());
+//! assert_eq!(grid.cells.len(), 4);
+//! let best = grid.best();
+//! assert!(grid.cells.iter().all(|c| c.cycles >= best.cycles));
+//! ```
+
+use crate::config::{Arch, SimConfig};
+use crate::machine::simulate;
+use crate::result::RunResult;
+use ascoma_workloads::trace::Trace;
+
+/// Per-cell configuration hook: `(config, arch, pressure)`.
+type CellHook = Box<dyn Fn(&mut SimConfig, Arch, f64) + Sync>;
+
+/// A declarative sweep over one workload.
+pub struct Sweep<'t> {
+    trace: &'t Trace,
+    archs: Vec<Arch>,
+    pressures: Vec<f64>,
+    /// Optional per-cell configuration hook (applied after pressure).
+    mutate: Option<CellHook>,
+}
+
+/// The results of a sweep, in row-major `(arch, pressure)` order.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// One result per `(arch, pressure)` cell.
+    pub cells: Vec<RunResult>,
+    /// The architectures swept, in order.
+    pub archs: Vec<Arch>,
+    /// The pressures swept, in order.
+    pub pressures: Vec<f64>,
+}
+
+impl<'t> Sweep<'t> {
+    /// A sweep over `trace` (defaults: all five architectures, the paper
+    /// pressure grid).
+    pub fn new(trace: &'t Trace) -> Self {
+        Self {
+            trace,
+            archs: Arch::ALL.to_vec(),
+            pressures: crate::experiments::PAPER_PRESSURES.to_vec(),
+            mutate: None,
+        }
+    }
+
+    /// Restrict the architectures.
+    pub fn archs(mut self, archs: impl IntoIterator<Item = Arch>) -> Self {
+        self.archs = archs.into_iter().collect();
+        self
+    }
+
+    /// Restrict the pressures.
+    pub fn pressures(mut self, ps: impl IntoIterator<Item = f64>) -> Self {
+        self.pressures = ps.into_iter().collect();
+        self
+    }
+
+    /// Mutate each cell's configuration (e.g. disable the RAC for one
+    /// architecture, scale a kernel cost with pressure).
+    pub fn configure(
+        mut self,
+        f: impl Fn(&mut SimConfig, Arch, f64) + Sync + 'static,
+    ) -> Self {
+        self.mutate = Some(Box::new(f));
+        self
+    }
+
+    /// Run every cell sequentially and collect the grid.
+    pub fn run(self, base: &SimConfig) -> SweepGrid {
+        let mut cells = Vec::with_capacity(self.archs.len() * self.pressures.len());
+        for &arch in &self.archs {
+            for &p in &self.pressures {
+                let mut cfg = SimConfig {
+                    pressure: p,
+                    ..*base
+                };
+                if let Some(f) = &self.mutate {
+                    f(&mut cfg, arch, p);
+                }
+                cells.push(simulate(self.trace, arch, &cfg));
+            }
+        }
+        SweepGrid {
+            cells,
+            archs: self.archs,
+            pressures: self.pressures,
+        }
+    }
+}
+
+impl SweepGrid {
+    /// The cell for `(arch, pressure)`, if it was swept.
+    pub fn cell(&self, arch: Arch, pressure: f64) -> Option<&RunResult> {
+        let ai = self.archs.iter().position(|&a| a == arch)?;
+        let pi = self
+            .pressures
+            .iter()
+            .position(|&p| (p - pressure).abs() < 1e-12)?;
+        self.cells.get(ai * self.pressures.len() + pi)
+    }
+
+    /// The fastest cell.
+    pub fn best(&self) -> &RunResult {
+        self.cells
+            .iter()
+            .min_by_key(|r| r.cycles)
+            .expect("sweep has at least one cell")
+    }
+
+    /// The slowest cell.
+    pub fn worst(&self) -> &RunResult {
+        self.cells
+            .iter()
+            .max_by_key(|r| r.cycles)
+            .expect("sweep has at least one cell")
+    }
+
+    /// CSV of `arch,pressure,cycles,k_overhd,upgrades,downgrades`.
+    pub fn csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("arch,pressure,cycles,k_overhd,upgrades,downgrades\n");
+        for r in &self.cells {
+            let _ = writeln!(
+                s,
+                "{},{:.2},{},{},{},{}",
+                r.arch.name(),
+                r.pressure,
+                r.cycles,
+                r.exec.k_overhd,
+                r.kernel.upgrades,
+                r.kernel.downgrades
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascoma_workloads::{App, SizeClass};
+
+    fn trace() -> Trace {
+        App::Ocean.build(SizeClass::Tiny, 4096)
+    }
+
+    #[test]
+    fn grid_has_row_major_cells() {
+        let t = trace();
+        let g = Sweep::new(&t)
+            .archs([Arch::CcNuma, Arch::Scoma])
+            .pressures([0.2, 0.8])
+            .run(&SimConfig::default());
+        assert_eq!(g.cells.len(), 4);
+        assert_eq!(g.cells[0].arch, Arch::CcNuma);
+        assert!((g.cells[0].pressure - 0.2).abs() < 1e-12);
+        assert_eq!(g.cells[3].arch, Arch::Scoma);
+        assert!((g.cells[3].pressure - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_lookup_matches_run() {
+        let t = trace();
+        let g = Sweep::new(&t)
+            .archs([Arch::AsComa])
+            .pressures([0.5])
+            .run(&SimConfig::default());
+        let c = g.cell(Arch::AsComa, 0.5).unwrap();
+        assert_eq!(c.cycles, g.cells[0].cycles);
+        assert!(g.cell(Arch::RNuma, 0.5).is_none());
+        assert!(g.cell(Arch::AsComa, 0.3).is_none());
+    }
+
+    #[test]
+    fn configure_hook_applies() {
+        let t = trace();
+        let g = Sweep::new(&t)
+            .archs([Arch::CcNuma])
+            .pressures([0.5])
+            .configure(|cfg, _arch, _p| cfg.rac_bytes = 0)
+            .run(&SimConfig::default());
+        assert_eq!(g.cells[0].miss.rac, 0);
+    }
+
+    #[test]
+    fn best_and_worst_bracket_all_cells() {
+        let t = trace();
+        let g = Sweep::new(&t).pressures([0.1, 0.9]).run(&SimConfig::default());
+        let best = g.best().cycles;
+        let worst = g.worst().cycles;
+        assert!(g.cells.iter().all(|c| (best..=worst).contains(&c.cycles)));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell() {
+        let t = trace();
+        let g = Sweep::new(&t)
+            .archs([Arch::CcNuma])
+            .pressures([0.5])
+            .run(&SimConfig::default());
+        assert_eq!(g.csv().lines().count(), 2);
+    }
+}

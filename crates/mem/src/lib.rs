@@ -1,0 +1,26 @@
+//! Node-local memory hierarchy substrates for the AS-COMA simulator.
+//!
+//! This crate models the per-node hardware the paper's Table 3 describes:
+//!
+//! * [`cache::DirectMappedCache`] — the 8 KB, 32-byte-line, direct-mapped,
+//!   write-back L1 (and, with different parameters, the 512-byte 128-byte-
+//!   line RAC on the DSM controller).
+//! * [`dram::Dram`] — the 4-bank main memory controller with busy-until
+//!   bank contention.
+//! * [`bus::Bus`] — the coherent split-transaction (Runway-like) memory
+//!   bus, modeled as an arbitrated resource with per-32-byte transfer
+//!   occupancy.
+//! * [`timing::MemTimings`] — the cycle costs that compose into the
+//!   paper's Table 4 minimum latencies.
+//!
+//! Tags are *virtual shared-space* addresses.  The paper's caches are
+//! virtually indexed/physically tagged and are flushed across remappings;
+//! since every remapping in the simulator also flushes, virtual tagging is
+//! behaviorally equivalent.
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cache;
+pub mod dram;
+pub mod timing;

@@ -1,0 +1,185 @@
+//! Property tests: the direct-mapped cache against a naive reference
+//! model.  Any divergence in hit/miss classification, dirtiness, or
+//! residency between the optimized tag store and the obviously-correct
+//! map-based model is a bug.
+
+use ascoma_mem::cache::{DirectMappedCache, Lookup, Victim};
+use ascoma_sim::addr::VAddr;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model: set index -> (line address, dirty).
+struct RefModel {
+    sets: HashMap<u64, (u64, bool)>,
+    line_bytes: u64,
+    nsets: u64,
+}
+
+impl RefModel {
+    fn new(size: u64, line: u64) -> Self {
+        Self {
+            sets: HashMap::new(),
+            line_bytes: line,
+            nsets: size / line,
+        }
+    }
+
+    fn align(&self, a: u64) -> u64 {
+        a & !(self.line_bytes - 1)
+    }
+
+    fn set_of(&self, a: u64) -> u64 {
+        (a / self.line_bytes) % self.nsets
+    }
+
+    fn access(&mut self, a: u64, write: bool) -> Lookup {
+        let a = self.align(a);
+        match self.sets.get_mut(&self.set_of(a)) {
+            Some((addr, dirty)) if *addr == a => {
+                *dirty |= write;
+                Lookup::Hit
+            }
+            Some((addr, dirty)) => Lookup::MissConflict(Victim {
+                addr: VAddr(*addr),
+                dirty: *dirty,
+            }),
+            None => Lookup::MissEmpty,
+        }
+    }
+
+    fn fill(&mut self, a: u64, write: bool) -> Option<Victim> {
+        let a = self.align(a);
+        let set = self.set_of(a);
+        let prev = self.sets.get(&set).copied();
+        let keep_dirty = matches!(prev, Some((addr, d)) if addr == a && d);
+        self.sets.insert(set, (a, write || keep_dirty));
+        match prev {
+            Some((addr, dirty)) if addr != a => Some(Victim {
+                addr: VAddr(addr),
+                dirty,
+            }),
+            _ => None,
+        }
+    }
+
+    fn invalidate_range(&mut self, base: u64, span: u64) -> (u32, u32) {
+        let mut n = 0;
+        let mut d = 0;
+        let start = base & !(self.line_bytes - 1);
+        let mut a = start;
+        while a < base + span {
+            let set = self.set_of(a);
+            if let Some(&(addr, dirty)) = self.sets.get(&set) {
+                if addr == a {
+                    n += 1;
+                    if dirty {
+                        d += 1;
+                    }
+                    self.sets.remove(&set);
+                }
+            }
+            a += self.line_bytes;
+        }
+        (n, d)
+    }
+
+    fn contains(&self, a: u64) -> bool {
+        let a = self.align(a);
+        matches!(self.sets.get(&self.set_of(a)), Some(&(addr, _)) if addr == a)
+    }
+}
+
+/// One cache operation.
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Access(u64, bool),
+    Fill(u64, bool),
+    InvalBlock(u64),
+    InvalPage(u64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    proptest::collection::vec(
+        (0u64..64 * 1024, any::<bool>(), 0u8..4).prop_map(|(a, w, k)| match k {
+            0 => CacheOp::Access(a, w),
+            1 => CacheOp::Fill(a, w),
+            2 => CacheOp::InvalBlock(a & !127),
+            _ => CacheOp::InvalPage(a & !4095),
+        }),
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_model(ops in arb_ops()) {
+        let mut cache = DirectMappedCache::new(8 * 1024, 32);
+        let mut model = RefModel::new(8 * 1024, 32);
+        for op in ops {
+            match op {
+                CacheOp::Access(a, w) => {
+                    let got = cache.access(VAddr(a), w);
+                    let want = model.access(a, w);
+                    prop_assert_eq!(got, want, "access {:#x}", a);
+                }
+                CacheOp::Fill(a, w) => {
+                    let got = cache.fill(VAddr(a), w);
+                    let want = model.fill(a, w);
+                    prop_assert_eq!(got, want, "fill {:#x}", a);
+                }
+                CacheOp::InvalBlock(a) => {
+                    let got = cache.invalidate_range(VAddr(a), 128);
+                    let want = model.invalidate_range(a, 128);
+                    prop_assert_eq!(got, want, "inval block {:#x}", a);
+                }
+                CacheOp::InvalPage(a) => {
+                    let got = cache.invalidate_range(VAddr(a), 4096);
+                    let want = model.invalidate_range(a, 4096);
+                    prop_assert_eq!(got, want, "inval page {:#x}", a);
+                }
+            }
+        }
+        // Residency agrees everywhere touched.
+        for a in (0u64..64 * 1024).step_by(32) {
+            prop_assert_eq!(cache.contains(VAddr(a)), model.contains(a));
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_sets(ops in arb_ops()) {
+        let mut cache = DirectMappedCache::new(1024, 32);
+        for op in ops {
+            match op {
+                CacheOp::Access(a, w) => {
+                    cache.access(VAddr(a), w);
+                }
+                CacheOp::Fill(a, w) => {
+                    cache.fill(VAddr(a), w);
+                }
+                CacheOp::InvalBlock(a) => {
+                    cache.invalidate_range(VAddr(a), 128);
+                }
+                CacheOp::InvalPage(a) => {
+                    cache.invalidate_range(VAddr(a), 4096);
+                }
+            }
+            prop_assert!(cache.occupancy() <= cache.num_sets());
+        }
+    }
+
+    #[test]
+    fn stats_count_every_access(ops in arb_ops()) {
+        let mut cache = DirectMappedCache::new(4096, 32);
+        let mut accesses = 0u64;
+        for op in ops {
+            if let CacheOp::Access(a, w) = op {
+                cache.access(VAddr(a), w);
+                accesses += 1;
+            }
+        }
+        let (h, m) = cache.stats();
+        prop_assert_eq!(h + m, accesses);
+    }
+}

@@ -1,0 +1,272 @@
+//! The node interconnect of the AS-COMA machine.
+//!
+//! The paper's network (Table 3) is a crossbar-switch topology with a
+//! 2-cycle link propagation delay, a 4-cycle switch fall-through delay, and
+//! contention modeled *only at input ports* ("Note that our network model
+//! only accounts for input port contention").  This crate reproduces that:
+//!
+//! * [`Topology`] computes the hop/switch count between two nodes — a
+//!   single 8x8 switch for machines up to 8 nodes, and a two-level fat
+//!   tree of 8x8 switches beyond that.
+//! * [`Network`] charges each message the wire latency along its route and
+//!   serializes messages through the *destination's input port*, whose
+//!   occupancy is proportional to message size.
+//!
+//! Messages here are latency reservations, not queued objects: the caller
+//! (the coherence protocol) sends a message and learns its arrival time.
+
+#![warn(missing_docs)]
+
+use ascoma_sim::resource::Resource;
+use ascoma_sim::{Cycles, NodeId};
+
+/// Physical structure: how many links and switches a message crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    nodes: usize,
+    radix: usize,
+}
+
+impl Topology {
+    /// A machine of `nodes` nodes built from switches of the given `radix`
+    /// (the paper uses 8x8 switches).
+    pub fn new(nodes: usize, radix: usize) -> Self {
+        assert!(nodes >= 1);
+        assert!(radix >= 2);
+        assert!(
+            nodes <= radix * radix,
+            "two-level fat tree of radix-{radix} switches supports at most {} nodes",
+            radix * radix
+        );
+        Self { nodes, radix }
+    }
+
+    /// The paper's configuration for `nodes` nodes (8x8 switches).
+    pub fn paper(nodes: usize) -> Self {
+        Self::new(nodes, 8)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// `(links, switches)` crossed by a message from `from` to `to`.
+    ///
+    /// Same node: (0, 0).  Same first-level switch: 2 links, 1 switch.
+    /// Across switches (two-level): 4 links, 3 switches.
+    pub fn route(&self, from: NodeId, to: NodeId) -> (u32, u32) {
+        if from == to {
+            return (0, 0);
+        }
+        if self.nodes <= self.radix || from.idx() / self.radix == to.idx() / self.radix {
+            (2, 1)
+        } else {
+            (4, 3)
+        }
+    }
+}
+
+/// Wire-latency parameters (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetTimings {
+    /// Per-link propagation delay (paper: 2 cycles).
+    pub link_propagation: Cycles,
+    /// Per-switch fall-through delay (paper: 4 cycles).
+    pub fall_through: Cycles,
+    /// Network interface processing at each end (inject/eject).
+    pub ni_cycles: Cycles,
+    /// Input-port occupancy per 32 bytes of payload.
+    pub port_per_32b: Cycles,
+    /// Minimum input-port occupancy (header) for any message.
+    pub port_header: Cycles,
+}
+
+impl Default for NetTimings {
+    fn default() -> Self {
+        Self {
+            link_propagation: 2,
+            fall_through: 4,
+            ni_cycles: 8,
+            port_per_32b: 2,
+            port_header: 2,
+        }
+    }
+}
+
+/// The interconnect: topology + timings + per-node input-port contention.
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: Topology,
+    timings: NetTimings,
+    /// One input port per node (the only contention point, as in the paper).
+    input_ports: Vec<Resource>,
+    messages: u64,
+    payload_bytes: u64,
+}
+
+impl Network {
+    /// Build an interconnect over `topology` with the given timings.
+    pub fn new(topology: Topology, timings: NetTimings) -> Self {
+        Self {
+            input_ports: vec![Resource::new(); topology.nodes()],
+            topology,
+            timings,
+            messages: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    /// The paper's network for `nodes` nodes.
+    pub fn paper(nodes: usize) -> Self {
+        Self::new(Topology::paper(nodes), NetTimings::default())
+    }
+
+    /// Zero-contention one-way latency between two distinct nodes,
+    /// excluding port occupancy (header still charged at the port).
+    pub fn wire_latency(&self, from: NodeId, to: NodeId) -> Cycles {
+        let (links, switches) = self.topology.route(from, to);
+        self.timings.ni_cycles
+            + links as Cycles * self.timings.link_propagation
+            + switches as Cycles * self.timings.fall_through
+            + self.timings.ni_cycles
+    }
+
+    /// Send `payload_bytes` from `from` to `to` at `now`; returns the time
+    /// the message has fully arrived (and been ejected) at `to`.
+    ///
+    /// The message occupies the destination's input port for a header cost
+    /// plus a per-32-byte cost; queueing there is the network contention
+    /// the paper models.
+    pub fn send(&mut self, now: Cycles, from: NodeId, to: NodeId, payload_bytes: u64) -> Cycles {
+        self.messages += 1;
+        self.payload_bytes += payload_bytes;
+        if from == to {
+            // Loopback (e.g. home == requester) bypasses the network.
+            return now;
+        }
+        let head_arrives = now + self.wire_latency(from, to);
+        let occupancy = self.timings.port_header
+            + self.timings.port_per_32b * payload_bytes.div_ceil(32);
+        let start = self.input_ports[to.idx()].acquire(head_arrives, occupancy);
+        start + occupancy
+    }
+
+    /// Total messages sent.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total payload bytes moved.
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// Aggregate cycles messages spent queued at input ports.
+    pub fn port_queued_cycles(&self) -> Cycles {
+        self.input_ports.iter().map(Resource::queued_cycles).sum()
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The timing parameters in use.
+    pub fn timings(&self) -> &NetTimings {
+        &self.timings
+    }
+
+    /// Reset ports and statistics.
+    pub fn reset(&mut self) {
+        for p in &mut self.input_ports {
+            p.reset();
+        }
+        self.messages = 0;
+        self.payload_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_route_for_8_nodes() {
+        let t = Topology::paper(8);
+        assert_eq!(t.route(NodeId(0), NodeId(7)), (2, 1));
+        assert_eq!(t.route(NodeId(3), NodeId(3)), (0, 0));
+    }
+
+    #[test]
+    fn two_level_route_for_larger_machines() {
+        let t = Topology::paper(16);
+        // Same leaf switch.
+        assert_eq!(t.route(NodeId(0), NodeId(7)), (2, 1));
+        // Across leaf switches.
+        assert_eq!(t.route(NodeId(0), NodeId(8)), (4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn topology_rejects_oversize() {
+        let _ = Topology::new(100, 8);
+    }
+
+    #[test]
+    fn wire_latency_composition() {
+        let n = Network::paper(8);
+        // ni(8) + 2 links * 2 + 1 switch * 4 + ni(8) = 24.
+        assert_eq!(n.wire_latency(NodeId(0), NodeId(1)), 24);
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        let mut n = Network::paper(8);
+        assert_eq!(n.send(100, NodeId(2), NodeId(2), 128), 100);
+    }
+
+    #[test]
+    fn send_charges_wire_plus_port() {
+        let mut n = Network::paper(8);
+        // wire 24, port = header 2 + 4 beats * 2 = 10 -> arrives 34.
+        assert_eq!(n.send(0, NodeId(0), NodeId(1), 128), 34);
+    }
+
+    #[test]
+    fn input_port_contention_queues_second_message() {
+        let mut n = Network::paper(8);
+        let a = n.send(0, NodeId(0), NodeId(2), 128);
+        let b = n.send(0, NodeId(1), NodeId(2), 128);
+        assert!(b > a, "second message must queue at the shared input port");
+        assert!(n.port_queued_cycles() > 0);
+    }
+
+    #[test]
+    fn messages_to_different_destinations_do_not_interfere() {
+        let mut n = Network::paper(8);
+        let a = n.send(0, NodeId(0), NodeId(2), 128);
+        let b = n.send(0, NodeId(1), NodeId(3), 128);
+        assert_eq!(a, b);
+        assert_eq!(n.port_queued_cycles(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = Network::paper(8);
+        n.send(0, NodeId(0), NodeId(1), 128);
+        n.send(0, NodeId(0), NodeId(1), 0);
+        assert_eq!(n.messages(), 2);
+        assert_eq!(n.payload_bytes(), 128);
+    }
+
+    #[test]
+    fn remote_round_trip_matches_calibration_budget() {
+        // One-way 24 cycles; the full remote path budget in DESIGN.md
+        // allots ~2 x 24 for the network share of the ~190-cycle remote
+        // access.
+        let n = Network::paper(8);
+        let rt = 2 * n.wire_latency(NodeId(0), NodeId(5));
+        assert_eq!(rt, 48);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the interconnect: latency sanity, contention
+//! monotonicity, and topology structure across machine sizes.
+
+use ascoma_net::{NetTimings, Network, Topology};
+use ascoma_sim::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Messages never arrive before wire latency; arrival times at one
+    /// input port are non-decreasing when sends are issued in time order.
+    #[test]
+    fn port_arrivals_are_ordered(
+        nodes in 2usize..=16,
+        sends in proptest::collection::vec((0u64..1000, 0u16..16, 0u64..256), 1..100),
+    ) {
+        let mut net = Network::paper(nodes);
+        let dest = NodeId(0);
+        let mut sends: Vec<_> = sends
+            .into_iter()
+            .map(|(t, from, bytes)| (t, NodeId(1 + (from % (nodes as u16 - 1))), bytes))
+            .collect();
+        sends.sort_by_key(|s| s.0);
+        let mut last_arrival = 0;
+        for (t, from, bytes) in sends {
+            let arrive = net.send(t, from, dest, bytes);
+            prop_assert!(
+                arrive >= t + net.wire_latency(from, dest),
+                "arrival {arrive} before wire latency"
+            );
+            prop_assert!(arrive >= last_arrival, "port served out of order");
+            last_arrival = arrive;
+        }
+    }
+
+    /// Wire latency is symmetric and positive between distinct nodes, and
+    /// structure follows the two-level topology.
+    #[test]
+    fn wire_latency_symmetric(nodes in 2usize..=64, a in 0u16..64, b in 0u16..64) {
+        let a = NodeId(a % nodes as u16);
+        let b = NodeId(b % nodes as u16);
+        let net = Network::paper(nodes);
+        prop_assert_eq!(net.wire_latency(a, b), net.wire_latency(b, a));
+        if a != b {
+            prop_assert!(net.wire_latency(a, b) > 0);
+        }
+    }
+
+    /// Cross-switch routes in large machines are strictly longer than
+    /// same-switch routes.
+    #[test]
+    fn two_level_routes_cost_more(nodes in 9usize..=64) {
+        let t = Topology::paper(nodes);
+        let same = t.route(NodeId(0), NodeId(1));
+        let cross = t.route(NodeId(0), NodeId(8));
+        prop_assert_eq!(same, (2, 1));
+        prop_assert_eq!(cross, (4, 3));
+        let net = Network::paper(nodes);
+        prop_assert!(
+            net.wire_latency(NodeId(0), NodeId(8)) > net.wire_latency(NodeId(0), NodeId(1))
+        );
+    }
+
+    /// Payload size increases port occupancy but never reorders messages.
+    #[test]
+    fn bigger_payloads_occupy_longer(bytes in 0u64..4096) {
+        let timings = NetTimings::default();
+        let mut small = Network::new(Topology::paper(4), timings);
+        let mut big = Network::new(Topology::paper(4), timings);
+        let a = small.send(0, NodeId(0), NodeId(1), bytes);
+        let b = big.send(0, NodeId(0), NodeId(1), bytes + 32);
+        prop_assert!(b >= a);
+    }
+
+    /// Statistics account for every message and byte.
+    #[test]
+    fn stats_conserve(
+        sends in proptest::collection::vec((0u16..4, 0u16..4, 0u64..512), 1..50),
+    ) {
+        let mut net = Network::paper(4);
+        let mut bytes = 0;
+        for &(f, t, b) in &sends {
+            net.send(0, NodeId(f), NodeId(t), b);
+            bytes += b;
+        }
+        prop_assert_eq!(net.messages(), sends.len() as u64);
+        prop_assert_eq!(net.payload_bytes(), bytes);
+    }
+}

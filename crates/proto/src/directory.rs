@@ -1,0 +1,574 @@
+//! The home-node directory: per-block coherence state + refetch counters.
+//!
+//! Every 128-byte DSM block has a directory entry at its page's home node
+//! tracking the *copyset* (which nodes hold a copy) and the dirty owner, as
+//! in the paper's Figure 1 DSM controller.  The directory also maintains
+//! the R-NUMA-style "array of counters that tracks for each page the number
+//! of times that each processor has refetched a line from that page":
+//! whenever a request arrives from a node that is *already in the copyset*
+//! of the requested block, the request is a conflict/capacity refetch and
+//! the per-(page, node) counter is incremented.
+//!
+//! The directory is pure protocol state — cycle costs for lookups and
+//! forwards are charged by the machine layer (`ascoma` core), which knows
+//! about busses and the network.
+//!
+//! # Miss classification
+//!
+//! The paper's right-column charts distinguish where misses landed and why:
+//!
+//! * `ColdEssential` — the node has never fetched this block.
+//! * `ColdInduced` — the node's copy was flushed by a page remapping
+//!   (upgrade or downgrade); the re-fetch is an artifact of the hybrid
+//!   architecture's page movement ("the contents of both the hot page and
+//!   any victim page ... must be flushed from the processor cache(s)").
+//! * `Refetch` — the node is still in the copyset: a conflict/capacity
+//!   miss (this is what increments the relocation counters).
+//! * `Coherence` — the node's copy was invalidated by another writer.
+
+use ascoma_sim::addr::{BlockId, Geometry, VPage};
+use ascoma_sim::{NodeId, NodeSet};
+
+/// Why a remote fetch happened, from the directory's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchClass {
+    /// First fetch of this block by this node, ever.
+    ColdEssential,
+    /// Re-fetch forced by a remap/downgrade flush.
+    ColdInduced,
+    /// Conflict/capacity re-fetch (node still in copyset) — increments the
+    /// page's refetch counter.
+    Refetch,
+    /// Re-fetch after a coherence invalidation.
+    Coherence,
+}
+
+/// Outcome of a directory fetch transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchOutcome {
+    /// Why the fetch happened.
+    pub class: FetchClass,
+    /// If the block was dirty at another node, that node (a 3-hop
+    /// forwarding transaction).
+    pub forward_from: Option<NodeId>,
+    /// Copies that must be invalidated (write fetches only).
+    pub invalidate: NodeSet,
+    /// The refetch count for (page, node) after this transaction.
+    pub refetch_count: u32,
+}
+
+/// Per-block directory entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockEntry {
+    /// Nodes holding a (possibly stale-tracked) copy.
+    copyset: NodeSet,
+    /// Dirty owner, if the block is modified remotely.
+    owner: Option<NodeId>,
+    /// Nodes that have fetched this block at least once, ever.
+    ever: NodeSet,
+    /// Nodes whose copy was dropped by a remap flush; their next fetch is
+    /// an induced cold miss.
+    induced: NodeSet,
+}
+
+/// The machine-wide directory (conceptually distributed across homes; the
+/// home of a page only affects *where* lookups are charged, which the
+/// machine layer handles).
+#[derive(Debug)]
+pub struct Directory {
+    geometry: Geometry,
+    nodes: usize,
+    blocks: Vec<BlockEntry>,
+    /// Refetch counters, `[page * nodes + node]`, saturating.
+    refetch: Vec<u32>,
+    /// Total refetches observed (Table 6 numerator input).
+    total_refetches: u64,
+    /// Whether any node has ever written to the page (read-only
+    /// replication eligibility — the paper's §2.2: replication "has to
+    /// date only been successful for read-only or non-shared pages").
+    page_written: Vec<bool>,
+    /// Nodes holding a read-only replica of each page.
+    replicas: Vec<NodeSet>,
+}
+
+impl Directory {
+    /// A directory covering `num_pages` shared pages for `nodes` nodes.
+    pub fn new(geometry: Geometry, num_pages: u64, nodes: usize) -> Self {
+        let nblocks = (num_pages * geometry.blocks_per_page() as u64) as usize;
+        Self {
+            geometry,
+            nodes,
+            blocks: vec![BlockEntry::default(); nblocks],
+            refetch: vec![0; num_pages as usize * nodes],
+            total_refetches: 0,
+            page_written: vec![false; num_pages as usize],
+            replicas: vec![NodeSet::empty(); num_pages as usize],
+        }
+    }
+
+    #[inline]
+    fn entry(&mut self, b: BlockId) -> &mut BlockEntry {
+        &mut self.blocks[b.0 as usize]
+    }
+
+    #[inline]
+    fn refetch_slot(&self, page: VPage, node: NodeId) -> usize {
+        page.0 as usize * self.nodes + node.idx()
+    }
+
+    /// Process a fetch of `block` by `node` (`write` = needs exclusivity).
+    ///
+    /// Updates copyset/owner state and the refetch counter, and classifies
+    /// the miss.  The caller applies the returned invalidations to the
+    /// other nodes' caches and charges latencies.
+    pub fn fetch(&mut self, node: NodeId, block: BlockId, write: bool) -> FetchOutcome {
+        let page = self.geometry.page_of_block(block);
+        let slot = self.refetch_slot(page, node);
+        if write {
+            self.page_written[page.0 as usize] = true;
+        }
+        let e = self.entry(block);
+
+        // Classify before mutating membership.
+        let class = if !e.ever.contains(node) {
+            FetchClass::ColdEssential
+        } else if e.induced.contains(node) {
+            FetchClass::ColdInduced
+        } else if e.copyset.contains(node) {
+            FetchClass::Refetch
+        } else {
+            FetchClass::Coherence
+        };
+
+        // A dirty remote owner forces a 3-hop forward (ownership is
+        // returned home; the owner keeps a shared copy on reads).
+        let forward_from = match e.owner {
+            Some(o) if o != node => Some(o),
+            _ => None,
+        };
+
+        let mut invalidate = NodeSet::empty();
+        if write {
+            invalidate = e.copyset.without(node);
+            e.copyset = NodeSet::single(node);
+            e.owner = Some(node);
+        } else {
+            if let Some(o) = e.owner {
+                if o != node {
+                    // Dirty data written back home; owner downgrades to shared.
+                    e.owner = None;
+                }
+            }
+            e.copyset.insert(node);
+        }
+        e.ever.insert(node);
+        e.induced.remove(node);
+
+        let refetch_count = if class == FetchClass::Refetch {
+            self.total_refetches += 1;
+            let c = &mut self.refetch[slot];
+            *c = c.saturating_add(1);
+            *c
+        } else {
+            self.refetch[slot]
+        };
+
+        FetchOutcome {
+            class,
+            forward_from,
+            invalidate,
+            refetch_count,
+        }
+    }
+
+    /// `node` flushes all of its copies within `page` (a remap flush:
+    /// upgrade of this page, or eviction/downgrade of it).  Dirty blocks
+    /// are written back home.  Returns `(blocks_dropped, dirty_blocks)`.
+    ///
+    /// Dropped blocks are marked so the node's next fetch of each is
+    /// classified [`FetchClass::ColdInduced`].
+    pub fn flush_page(&mut self, node: NodeId, page: VPage) -> (u32, u32) {
+        let bpp = self.geometry.blocks_per_page();
+        let mut dropped = 0;
+        let mut dirty = 0;
+        for i in 0..bpp {
+            let b = self.geometry.block_id(page, i);
+            let e = self.entry(b);
+            if e.copyset.contains(node) {
+                dropped += 1;
+                e.copyset.remove(node);
+                if e.owner == Some(node) {
+                    e.owner = None;
+                    dirty += 1;
+                }
+                e.induced.insert(node);
+            }
+        }
+        (dropped, dirty)
+    }
+
+    /// A permission-only upgrade: `node` already holds valid data for
+    /// `block` (an L1/RAC/S-COMA hit) and requests exclusivity to write.
+    /// No data moves and no refetch is counted (the counters measure data
+    /// re-fetches, i.e. conflict misses, not write upgrades).  Returns the
+    /// copies to invalidate.
+    pub fn upgrade(&mut self, node: NodeId, block: BlockId) -> NodeSet {
+        let page = self.geometry.page_of_block(block);
+        self.page_written[page.0 as usize] = true;
+        let e = self.entry(block);
+        debug_assert!(
+            e.copyset.contains(node),
+            "upgrade from non-sharer {node} for block {}",
+            block.0
+        );
+        let invalidate = e.copyset.without(node);
+        e.copyset = NodeSet::single(node);
+        e.owner = Some(node);
+        invalidate
+    }
+
+    /// A dirty line/block eviction writeback from `node` (cache victim).
+    /// Ownership returns home; the node is treated as no longer holding
+    /// the block (its next miss to it is a conflict refetch — matching the
+    /// paper, where cache-capacity victims are precisely the source of
+    /// refetches... except the directory cannot see silent clean
+    /// evictions, so only *dirty* victims relinquish membership here; see
+    /// `fetch`, where re-requests from copyset members classify as
+    /// refetches).
+    pub fn writeback(&mut self, node: NodeId, block: BlockId) {
+        let e = self.entry(block);
+        if e.owner == Some(node) {
+            e.owner = None;
+        }
+    }
+
+    /// Current refetch counter for `(page, node)`.
+    pub fn refetch_count(&self, page: VPage, node: NodeId) -> u32 {
+        self.refetch[self.refetch_slot(page, node)]
+    }
+
+    /// Reset the refetch counter for `(page, node)` (done when the page is
+    /// relocated, so the counter measures refetches in the current mode).
+    pub fn reset_refetch(&mut self, page: VPage, node: NodeId) {
+        let slot = self.refetch_slot(page, node);
+        self.refetch[slot] = 0;
+    }
+
+    /// Total refetches observed machine-wide.
+    pub fn total_refetches(&self) -> u64 {
+        self.total_refetches
+    }
+
+    /// Whether `node` currently holds a tracked copy of `block`.
+    pub fn in_copyset(&self, node: NodeId, block: BlockId) -> bool {
+        self.blocks[block.0 as usize].copyset.contains(node)
+    }
+
+    /// The dirty owner of `block`, if any.
+    pub fn owner_of(&self, block: BlockId) -> Option<NodeId> {
+        self.blocks[block.0 as usize].owner
+    }
+
+    /// Number of nodes whose refetch count on `page` reached `threshold`.
+    pub fn nodes_at_threshold(&self, page: VPage, threshold: u32) -> usize {
+        (0..self.nodes)
+            .filter(|&n| self.refetch_count(page, NodeId(n as u16)) >= threshold)
+            .count()
+    }
+
+    /// Whether any node has ever written to `page`.
+    pub fn page_written(&self, page: VPage) -> bool {
+        self.page_written[page.0 as usize]
+    }
+
+    /// Register `node` as a read-only replica holder of `page`.  Returns
+    /// `false` (and registers nothing) if the page has already been
+    /// written — such pages are not replication-eligible.
+    pub fn add_replica(&mut self, node: NodeId, page: VPage) -> bool {
+        if self.page_written[page.0 as usize] {
+            return false;
+        }
+        self.replicas[page.0 as usize].insert(node);
+        true
+    }
+
+    /// Drop `node`'s replica registration for `page` (local eviction).
+    pub fn remove_replica(&mut self, node: NodeId, page: VPage) {
+        self.replicas[page.0 as usize].remove(node);
+    }
+
+    /// The first write to a replicated page: returns the replica holders
+    /// (other than the writer) whose copies must be collapsed back to
+    /// CC-NUMA mappings, and clears the replica set.  Idempotent.
+    pub fn collapse_replicas(&mut self, writer: NodeId, page: VPage) -> NodeSet {
+        self.page_written[page.0 as usize] = true;
+        let holders = self.replicas[page.0 as usize].without(writer);
+        self.replicas[page.0 as usize] = NodeSet::empty();
+        holders
+    }
+
+    /// Current replica holders of `page`.
+    pub fn replicas_of(&self, page: VPage) -> NodeSet {
+        self.replicas[page.0 as usize]
+    }
+
+    /// The geometry this directory was built with.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Storage cost in bits per block entry (Table 2 reproduction):
+    /// copyset presence bits per node + owner id + dirty flag.
+    pub fn bits_per_block(&self) -> u32 {
+        // copyset (1 bit/node) + ever/induced bookkeeping is simulator-side;
+        // hardware cost = copyset + owner + dirty.
+        self.nodes as u32 + 6 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> Directory {
+        Directory::new(Geometry::paper(), 16, 8)
+    }
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
+
+    #[test]
+    fn first_fetch_is_essential_cold() {
+        let mut d = dir();
+        let out = d.fetch(N0, BlockId(0), false);
+        assert_eq!(out.class, FetchClass::ColdEssential);
+        assert_eq!(out.forward_from, None);
+        assert!(out.invalidate.is_empty());
+        assert_eq!(out.refetch_count, 0);
+        assert!(d.in_copyset(N0, BlockId(0)));
+    }
+
+    #[test]
+    fn refetch_from_copyset_member_increments_counter() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), false);
+        let out = d.fetch(N0, BlockId(0), false);
+        assert_eq!(out.class, FetchClass::Refetch);
+        assert_eq!(out.refetch_count, 1);
+        assert_eq!(d.refetch_count(VPage(0), N0), 1);
+        assert_eq!(d.total_refetches(), 1);
+    }
+
+    #[test]
+    fn refetch_counters_are_per_page_per_node() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), false);
+        d.fetch(N0, BlockId(0), false);
+        d.fetch(N1, BlockId(0), false);
+        assert_eq!(d.refetch_count(VPage(0), N0), 1);
+        assert_eq!(d.refetch_count(VPage(0), N1), 0);
+        // Block in a different page.
+        let other = d.geometry().block_id(VPage(1), 0);
+        d.fetch(N0, other, false);
+        d.fetch(N0, other, false);
+        assert_eq!(d.refetch_count(VPage(1), N0), 1);
+        assert_eq!(d.refetch_count(VPage(0), N0), 1);
+    }
+
+    #[test]
+    fn refetches_on_same_page_accumulate_across_blocks() {
+        let mut d = dir();
+        let g = d.geometry();
+        for i in 0..4 {
+            let b = g.block_id(VPage(0), i);
+            d.fetch(N0, b, false);
+            d.fetch(N0, b, false);
+        }
+        assert_eq!(d.refetch_count(VPage(0), N0), 4);
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), false);
+        d.fetch(N1, BlockId(0), false);
+        let out = d.fetch(N2, BlockId(0), true);
+        assert!(out.invalidate.contains(N0));
+        assert!(out.invalidate.contains(N1));
+        assert!(!out.invalidate.contains(N2));
+        assert_eq!(d.owner_of(BlockId(0)), Some(N2));
+        assert!(!d.in_copyset(N0, BlockId(0)));
+    }
+
+    #[test]
+    fn invalidated_sharer_refetches_as_coherence_miss() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), false);
+        d.fetch(N1, BlockId(0), true); // invalidates N0
+        let out = d.fetch(N0, BlockId(0), false);
+        assert_eq!(out.class, FetchClass::Coherence);
+        // Coherence misses do not advance the refetch counter.
+        assert_eq!(d.refetch_count(VPage(0), N0), 0);
+    }
+
+    #[test]
+    fn dirty_remote_read_forwards_and_downgrades() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), true);
+        let out = d.fetch(N1, BlockId(0), false);
+        assert_eq!(out.forward_from, Some(N0));
+        assert_eq!(d.owner_of(BlockId(0)), None);
+        assert!(d.in_copyset(N0, BlockId(0)));
+        assert!(d.in_copyset(N1, BlockId(0)));
+    }
+
+    #[test]
+    fn dirty_remote_write_forwards_and_transfers_ownership() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), true);
+        let out = d.fetch(N1, BlockId(0), true);
+        assert_eq!(out.forward_from, Some(N0));
+        assert!(out.invalidate.contains(N0));
+        assert_eq!(d.owner_of(BlockId(0)), Some(N1));
+    }
+
+    #[test]
+    fn owner_write_hit_upgrade_keeps_ownership() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), true);
+        let out = d.fetch(N0, BlockId(0), true);
+        assert_eq!(out.forward_from, None);
+        assert_eq!(out.class, FetchClass::Refetch);
+        assert_eq!(d.owner_of(BlockId(0)), Some(N0));
+    }
+
+    #[test]
+    fn flush_page_marks_induced_cold() {
+        let mut d = dir();
+        let g = d.geometry();
+        let b0 = g.block_id(VPage(2), 0);
+        let b1 = g.block_id(VPage(2), 1);
+        d.fetch(N0, b0, false);
+        d.fetch(N0, b1, true);
+        let (dropped, dirty) = d.flush_page(N0, VPage(2));
+        assert_eq!(dropped, 2);
+        assert_eq!(dirty, 1);
+        assert!(!d.in_copyset(N0, b0));
+        let out = d.fetch(N0, b0, false);
+        assert_eq!(out.class, FetchClass::ColdInduced);
+        // Once re-fetched, subsequent conflict misses are refetches again.
+        let out2 = d.fetch(N0, b0, false);
+        assert_eq!(out2.class, FetchClass::Refetch);
+    }
+
+    #[test]
+    fn flush_page_of_nonresident_node_is_noop() {
+        let mut d = dir();
+        let (dropped, dirty) = d.flush_page(N1, VPage(3));
+        assert_eq!((dropped, dirty), (0, 0));
+    }
+
+    #[test]
+    fn writeback_clears_ownership_only_for_owner() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), true);
+        d.writeback(N1, BlockId(0));
+        assert_eq!(d.owner_of(BlockId(0)), Some(N0));
+        d.writeback(N0, BlockId(0));
+        assert_eq!(d.owner_of(BlockId(0)), None);
+    }
+
+    #[test]
+    fn upgrade_invalidates_sharers_without_counting_refetch() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), false);
+        d.fetch(N1, BlockId(0), false);
+        let inv = d.upgrade(N0, BlockId(0));
+        assert!(inv.contains(N1));
+        assert!(!inv.contains(N0));
+        assert_eq!(d.owner_of(BlockId(0)), Some(N0));
+        assert_eq!(d.refetch_count(VPage(0), N0), 0);
+        assert!(!d.in_copyset(N1, BlockId(0)));
+    }
+
+    #[test]
+    fn upgrade_with_no_sharers_is_cheap() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), false);
+        let inv = d.upgrade(N0, BlockId(0));
+        assert!(inv.is_empty());
+        assert_eq!(d.owner_of(BlockId(0)), Some(N0));
+    }
+
+    #[test]
+    fn reset_refetch_zeroes_counter() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), false);
+        d.fetch(N0, BlockId(0), false);
+        d.reset_refetch(VPage(0), N0);
+        assert_eq!(d.refetch_count(VPage(0), N0), 0);
+    }
+
+    #[test]
+    fn read_only_pages_accept_replicas() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), false);
+        assert!(!d.page_written(VPage(0)));
+        assert!(d.add_replica(N1, VPage(0)));
+        assert!(d.replicas_of(VPage(0)).contains(N1));
+    }
+
+    #[test]
+    fn written_pages_refuse_replicas() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), true);
+        assert!(d.page_written(VPage(0)));
+        assert!(!d.add_replica(N1, VPage(0)));
+        assert!(d.replicas_of(VPage(0)).is_empty());
+    }
+
+    #[test]
+    fn upgrade_marks_page_written() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), false);
+        d.upgrade(N0, BlockId(0));
+        assert!(d.page_written(VPage(0)));
+    }
+
+    #[test]
+    fn collapse_returns_other_holders_and_clears() {
+        let mut d = dir();
+        d.fetch(N0, BlockId(0), false);
+        assert!(d.add_replica(N1, VPage(0)));
+        assert!(d.add_replica(N2, VPage(0)));
+        let shoot = d.collapse_replicas(N1, VPage(0));
+        assert!(shoot.contains(N2));
+        assert!(!shoot.contains(N1));
+        assert!(d.replicas_of(VPage(0)).is_empty());
+        assert!(d.page_written(VPage(0)));
+        // Idempotent.
+        assert!(d.collapse_replicas(N1, VPage(0)).is_empty());
+    }
+
+    #[test]
+    fn remove_replica_is_local() {
+        let mut d = dir();
+        assert!(d.add_replica(N1, VPage(1)));
+        assert!(d.add_replica(N2, VPage(1)));
+        d.remove_replica(N1, VPage(1));
+        assert!(!d.replicas_of(VPage(1)).contains(N1));
+        assert!(d.replicas_of(VPage(1)).contains(N2));
+    }
+
+    #[test]
+    fn nodes_at_threshold_counts_hot_requesters() {
+        let mut d = dir();
+        for _ in 0..5 {
+            d.fetch(N0, BlockId(0), false);
+        }
+        d.fetch(N1, BlockId(0), false);
+        assert_eq!(d.nodes_at_threshold(VPage(0), 2), 1);
+        assert_eq!(d.nodes_at_threshold(VPage(0), 100), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Address geometry: pages, DSM blocks, and cache lines.
+//!
+//! The paper's machine has three granularities that every substrate must
+//! agree on:
+//!
+//! * **Page** (4 KB) — the unit of allocation, mapping mode (CC-NUMA vs.
+//!   S-COMA), relocation, and refetch counting.
+//! * **DSM block** (128 B = 4 cache lines) — the unit of coherence and
+//!   remote transfer ("DSM data is moved in 128-byte (4-line) chunks to
+//!   amortize the cost of remote communication and reduce the memory
+//!   overhead of directory state").
+//! * **Cache line** (32 B) — the unit of the L1 cache.
+//!
+//! [`Geometry`] fixes those sizes (all powers of two) and converts byte
+//! addresses to page / block / line coordinates.  Addresses are *virtual
+//! shared-space* byte addresses; the VM substrate maps pages to homes and
+//! local frames, but identity within the simulator is by virtual page, as
+//! the paper's global-virtual-to-physical remapping preserves page identity.
+
+use std::fmt;
+
+/// A byte address in the global shared virtual address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VAddr(pub u64);
+
+/// A virtual page number (shared space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VPage(pub u64);
+
+/// A global DSM block id: `page * blocks_per_page + block_in_page`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+impl fmt::Display for VPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Fixed power-of-two geometry of the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    page_shift: u32,
+    block_shift: u32,
+    line_shift: u32,
+}
+
+impl Geometry {
+    /// Construct; all sizes must be powers of two with
+    /// `line <= block <= page`.
+    pub fn new(page_bytes: u64, block_bytes: u64, line_bytes: u64) -> Self {
+        assert!(page_bytes.is_power_of_two());
+        assert!(block_bytes.is_power_of_two());
+        assert!(line_bytes.is_power_of_two());
+        assert!(line_bytes <= block_bytes && block_bytes <= page_bytes);
+        Self {
+            page_shift: page_bytes.trailing_zeros(),
+            block_shift: block_bytes.trailing_zeros(),
+            line_shift: line_bytes.trailing_zeros(),
+        }
+    }
+
+    /// The paper's configuration: 4 KB pages, 128 B blocks, 32 B lines.
+    pub fn paper() -> Self {
+        Self::new(4096, 128, 32)
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_bytes(&self) -> u64 {
+        1 << self.page_shift
+    }
+
+    /// DSM block size in bytes.
+    #[inline]
+    pub fn block_bytes(&self) -> u64 {
+        1 << self.block_shift
+    }
+
+    /// Cache line size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> u64 {
+        1 << self.line_shift
+    }
+
+    /// Number of DSM blocks per page (32 for the paper config).
+    #[inline]
+    pub fn blocks_per_page(&self) -> u32 {
+        1 << (self.page_shift - self.block_shift)
+    }
+
+    /// Number of cache lines per DSM block (4 for the paper config).
+    #[inline]
+    pub fn lines_per_block(&self) -> u32 {
+        1 << (self.block_shift - self.line_shift)
+    }
+
+    /// The page containing `addr`.
+    #[inline]
+    pub fn page_of(&self, addr: VAddr) -> VPage {
+        VPage(addr.0 >> self.page_shift)
+    }
+
+    /// The global DSM block containing `addr`.
+    #[inline]
+    pub fn block_of(&self, addr: VAddr) -> BlockId {
+        BlockId(addr.0 >> self.block_shift)
+    }
+
+    /// The index of `addr`'s block within its page (`0..blocks_per_page`).
+    #[inline]
+    pub fn block_in_page(&self, addr: VAddr) -> u32 {
+        ((addr.0 >> self.block_shift) & (self.blocks_per_page() as u64 - 1)) as u32
+    }
+
+    /// The page containing global block `b`.
+    #[inline]
+    pub fn page_of_block(&self, b: BlockId) -> VPage {
+        VPage(b.0 >> (self.page_shift - self.block_shift))
+    }
+
+    /// The index of global block `b` within its page.
+    #[inline]
+    pub fn block_index_in_page(&self, b: BlockId) -> u32 {
+        (b.0 & (self.blocks_per_page() as u64 - 1)) as u32
+    }
+
+    /// Global block id for `(page, block_in_page)`.
+    #[inline]
+    pub fn block_id(&self, page: VPage, block_in_page: u32) -> BlockId {
+        BlockId((page.0 << (self.page_shift - self.block_shift)) | block_in_page as u64)
+    }
+
+    /// First byte address of `page`.
+    #[inline]
+    pub fn page_base(&self, page: VPage) -> VAddr {
+        VAddr(page.0 << self.page_shift)
+    }
+
+    /// First byte address of global block `b`.
+    #[inline]
+    pub fn block_base(&self, b: BlockId) -> VAddr {
+        VAddr(b.0 << self.block_shift)
+    }
+
+    /// Line-aligned address of `addr` (identity of an L1 line).
+    #[inline]
+    pub fn line_base(&self, addr: VAddr) -> VAddr {
+        VAddr(addr.0 & !(self.line_bytes() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_sizes() {
+        let g = Geometry::paper();
+        assert_eq!(g.page_bytes(), 4096);
+        assert_eq!(g.block_bytes(), 128);
+        assert_eq!(g.line_bytes(), 32);
+        assert_eq!(g.blocks_per_page(), 32);
+        assert_eq!(g.lines_per_block(), 4);
+    }
+
+    #[test]
+    fn address_decomposition_roundtrips() {
+        let g = Geometry::paper();
+        let addr = VAddr(5 * 4096 + 3 * 128 + 17);
+        assert_eq!(g.page_of(addr), VPage(5));
+        assert_eq!(g.block_in_page(addr), 3);
+        let b = g.block_of(addr);
+        assert_eq!(g.page_of_block(b), VPage(5));
+        assert_eq!(g.block_index_in_page(b), 3);
+        assert_eq!(g.block_id(VPage(5), 3), b);
+        assert_eq!(g.block_base(b), VAddr(5 * 4096 + 3 * 128));
+    }
+
+    #[test]
+    fn page_base_and_line_base() {
+        let g = Geometry::paper();
+        assert_eq!(g.page_base(VPage(2)), VAddr(8192));
+        assert_eq!(g.line_base(VAddr(100)), VAddr(96));
+        assert_eq!(g.line_base(VAddr(96)), VAddr(96));
+    }
+
+    #[test]
+    fn block_boundaries() {
+        let g = Geometry::paper();
+        assert_eq!(g.block_of(VAddr(127)), g.block_of(VAddr(0)));
+        assert_ne!(g.block_of(VAddr(128)), g.block_of(VAddr(127)));
+        // Last block of page 0 and first of page 1 are adjacent ids.
+        let last = g.block_of(VAddr(4095));
+        let first = g.block_of(VAddr(4096));
+        assert_eq!(first.0, last.0 + 1);
+        assert_eq!(g.block_index_in_page(last), 31);
+        assert_eq!(g.block_index_in_page(first), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        let _ = Geometry::new(4000, 128, 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_misordered_sizes() {
+        let _ = Geometry::new(128, 4096, 32);
+    }
+}

@@ -1,0 +1,207 @@
+//! A power-of-two-bucketed histogram for counts and latencies.
+//!
+//! Used for refetch-count distributions (the generalization of the
+//! paper's Table 6 single threshold), access strides, and latency
+//! spreads.  Buckets are `[0]`, `[1]`, `[2,3]`, `[4,7]`, … — value `v`
+//! lands in bucket `floor(log2(v)) + 1` (bucket 0 holds zeros).
+
+/// Power-of-two histogram over `u64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for `v`.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// The inclusive value range `(lo, hi)` of bucket `i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 0)
+        } else {
+            (1 << (i - 1), (1u64 << i).wrapping_sub(1))
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples at or above `threshold` (e.g. relocation-eligible pages).
+    pub fn at_least(&self, threshold: u64) -> u64 {
+        // Exact within bucket granularity: count full buckets above, and
+        // conservatively include the partial bucket only if its whole
+        // range qualifies... we keep exactness by noting thresholds are
+        // compared per-bucket; for reporting we accept bucket resolution.
+        let tb = Self::bucket_of(threshold);
+        let (lo, _) = Self::bucket_range(tb);
+        let mut n = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if i > tb || (i == tb && lo >= threshold) {
+                n += c;
+            }
+        }
+        n
+    }
+
+    /// Non-empty `(range, count)` buckets, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = ((u64, u64), u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_range(i), c))
+    }
+
+    /// Render as `0:12 1:3 2-3:7 ...`.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for ((lo, hi), c) in self.buckets() {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            if lo == hi {
+                s.push_str(&format!("{lo}:{c}"));
+            } else {
+                s.push_str(&format!("{lo}-{hi}:{c}"));
+            }
+        }
+        if s.is_empty() {
+            s.push_str("(empty)");
+        }
+        s
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two_ranges() {
+        assert_eq!(Histogram::bucket_range(0), (0, 0));
+        assert_eq!(Histogram::bucket_range(1), (1, 1));
+        assert_eq!(Histogram::bucket_range(2), (2, 3));
+        assert_eq!(Histogram::bucket_range(3), (4, 7));
+        assert_eq!(Histogram::bucket_range(7), (64, 127));
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 64, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - (170.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_least_counts_upper_buckets() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 63, 64, 65, 128, 500] {
+            h.record(v);
+        }
+        // Threshold 64 = exact bucket boundary: [64,127] and up qualify.
+        assert_eq!(h.at_least(64), 4);
+        assert_eq!(h.at_least(1), 7);
+        assert_eq!(h.at_least(1024), 0);
+    }
+
+    #[test]
+    fn render_is_compact() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(6);
+        let r = h.render();
+        assert!(r.contains("0:1"));
+        assert!(r.contains("4-7:2"));
+        assert_eq!(Histogram::new().render(), "(empty)");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record(100);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.at_least(64), 1);
+    }
+
+    #[test]
+    fn every_value_lands_in_its_range() {
+        let mut h = Histogram::new();
+        for v in 0..2000u64 {
+            h.record(v);
+        }
+        for ((lo, hi), _) in h.buckets() {
+            assert!(lo <= hi);
+        }
+        assert_eq!(h.count(), 2000);
+        let total: u64 = h.buckets().map(|(_, c)| c).sum();
+        assert_eq!(total, 2000);
+    }
+}

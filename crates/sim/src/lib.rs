@@ -1,0 +1,178 @@
+//! Discrete-event foundations for the AS-COMA memory-system simulator.
+//!
+//! This crate provides the building blocks shared by every substrate of the
+//! simulated machine:
+//!
+//! * [`Cycles`] — the global time unit (one 120 MHz processor/bus cycle, as
+//!   in the paper's Paint/Runway model).
+//! * [`resource`] — busy-until resource reservation, the contention model
+//!   used for busses, memory banks, network input ports and DSM controllers.
+//! * [`stats`] — the execution-time and miss-location breakdowns that the
+//!   paper's Figures 2 and 3 stack, plus general counters.
+//! * [`rng`] — a small deterministic RNG wrapper so that every simulation is
+//!   reproducible from a seed.
+//! * [`sched`] — the node scheduler (a min-heap of per-node ready times)
+//!   that orders the actors of the machine.
+//!
+//! The crate is intentionally free of any knowledge of caches, pages or
+//! coherence; those live in the `ascoma-mem`, `ascoma-vm` and `ascoma-proto`
+//! substrate crates.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod hist;
+pub mod resource;
+pub mod rng;
+pub mod sched;
+pub mod stats;
+
+/// Simulated time, measured in processor/bus cycles.
+///
+/// The modeled processor and DSM engine are clocked at 120 MHz (the paper's
+/// HP PA-RISC / Runway configuration); all latencies in the simulator are
+/// expressed in this unit.
+pub type Cycles = u64;
+
+/// Identifies a node (processor + memory + DSM controller) of the machine.
+///
+/// Node ids are dense indices in `0..machine.nodes()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A dense bitmask over nodes, used for directory copysets.
+///
+/// The simulator supports up to 64 nodes, which comfortably covers the
+/// paper's 4- and 8-node configurations and leaves room for scaling studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeSet(pub u64);
+
+impl NodeSet {
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        NodeSet(0)
+    }
+
+    /// A set containing only `node`.
+    #[inline]
+    pub fn single(node: NodeId) -> Self {
+        NodeSet(1u64 << node.0)
+    }
+
+    /// True if `node` is a member.
+    #[inline]
+    pub fn contains(self, node: NodeId) -> bool {
+        self.0 & (1u64 << node.0) != 0
+    }
+
+    /// Insert `node`.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) {
+        self.0 |= 1u64 << node.0;
+    }
+
+    /// Remove `node`.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) {
+        self.0 &= !(1u64 << node.0);
+    }
+
+    /// True if the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterate over the members in ascending node order.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(NodeId(i as u16))
+            }
+        })
+    }
+
+    /// The set of members other than `node`.
+    #[inline]
+    pub fn without(self, node: NodeId) -> Self {
+        NodeSet(self.0 & !(1u64 << node.0))
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut s = NodeSet::empty();
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodeset_insert_remove_contains() {
+        let mut s = NodeSet::empty();
+        assert!(s.is_empty());
+        s.insert(NodeId(3));
+        s.insert(NodeId(0));
+        assert!(s.contains(NodeId(3)));
+        assert!(s.contains(NodeId(0)));
+        assert!(!s.contains(NodeId(1)));
+        assert_eq!(s.len(), 2);
+        s.remove(NodeId(3));
+        assert!(!s.contains(NodeId(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn nodeset_iter_ascending() {
+        let s: NodeSet = [NodeId(5), NodeId(1), NodeId(63)].into_iter().collect();
+        let v: Vec<u16> = s.iter().map(|n| n.0).collect();
+        assert_eq!(v, vec![1, 5, 63]);
+    }
+
+    #[test]
+    fn nodeset_without_does_not_mutate() {
+        let s = NodeSet::single(NodeId(2));
+        let t = s.without(NodeId(2));
+        assert!(t.is_empty());
+        assert!(s.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn nodeset_single_and_display() {
+        let s = NodeSet::single(NodeId(7));
+        assert_eq!(s.len(), 1);
+        assert_eq!(format!("{}", NodeId(7)), "n7");
+    }
+}

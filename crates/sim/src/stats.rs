@@ -1,0 +1,334 @@
+//! Statistics: the execution-time and miss-location breakdowns of the paper.
+//!
+//! The paper's Figures 2 and 3 stack two breakdowns per (architecture,
+//! memory-pressure) point:
+//!
+//! * **Left column** — relative execution time split into `U-SH-MEM` (stalled
+//!   on shared memory), `K-BASE` (essential kernel work common to all
+//!   architectures), `K-OVERHD` (architecture-specific kernel work: page
+//!   remapping, relocation interrupts, pageout-daemon runs), `U-INSTR`
+//!   (user instructions), `U-LC-MEM` (non-shared memory stalls) and `SYNC`
+//!   (synchronization waits).
+//! * **Right column** — where cache misses to shared data were satisfied:
+//!   `HOME` (local DRAM because the node is the home), `SCOMA` (the local
+//!   page cache), `RAC` (the remote access cache), `COLD` (cold misses
+//!   satisfied remotely, both essential and remapping-induced) and
+//!   `CONF/CAPC` (conflict/capacity misses that went remote).
+//!
+//! [`ExecBreakdown`] and [`MissBreakdown`] are those two stacks.  We keep
+//! induced cold misses and coherence misses as separate internal counters so
+//! the analysis chapters can report them, and fold them into `COLD` and
+//! `CONF/CAPC` respectively when rendering the paper's charts.
+
+use crate::Cycles;
+
+/// Execution-time breakdown (the paper's left-column stack), in cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecBreakdown {
+    /// Cycles stalled on shared-memory accesses (`U-SH-MEM`).
+    pub u_sh_mem: Cycles,
+    /// Essential kernel cycles required by all architectures (`K-BASE`):
+    /// first-touch page faults, TLB fills, base VM bookkeeping.
+    pub k_base: Cycles,
+    /// Architecture-specific kernel cycles (`K-OVERHD`): relocation
+    /// interrupts, cache flushes, page remapping, pageout-daemon execution
+    /// and the context switches it induces.
+    pub k_overhd: Cycles,
+    /// User instruction cycles (`U-INSTR`).
+    pub u_instr: Cycles,
+    /// Cycles stalled on non-shared (node-private) memory (`U-LC-MEM`).
+    pub u_lc_mem: Cycles,
+    /// Cycles spent waiting at synchronization operations (`SYNC`).
+    pub sync: Cycles,
+}
+
+impl ExecBreakdown {
+    /// Total cycles across all categories.
+    pub fn total(&self) -> Cycles {
+        self.u_sh_mem + self.k_base + self.k_overhd + self.u_instr + self.u_lc_mem + self.sync
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &ExecBreakdown) {
+        self.u_sh_mem += other.u_sh_mem;
+        self.k_base += other.k_base;
+        self.k_overhd += other.k_overhd;
+        self.u_instr += other.u_instr;
+        self.u_lc_mem += other.u_lc_mem;
+        self.sync += other.sync;
+    }
+
+    /// Each category as a fraction of `denom` (usually another run's total,
+    /// for the paper's "relative to CC-NUMA" normalization).
+    pub fn normalized(&self, denom: Cycles) -> [f64; 6] {
+        let d = denom.max(1) as f64;
+        [
+            self.u_sh_mem as f64 / d,
+            self.k_base as f64 / d,
+            self.k_overhd as f64 / d,
+            self.u_instr as f64 / d,
+            self.u_lc_mem as f64 / d,
+            self.sync as f64 / d,
+        ]
+    }
+
+    /// Category labels in the order produced by [`Self::normalized`].
+    pub const LABELS: [&'static str; 6] = [
+        "U-SH-MEM", "K-BASE", "K-OVERHD", "U-INSTR", "U-LC-MEM", "SYNC",
+    ];
+}
+
+/// Where shared-data cache misses were satisfied (the right-column stack).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissBreakdown {
+    /// Satisfied from local DRAM because this node is the page's home.
+    pub home: u64,
+    /// Satisfied from the local S-COMA page cache.
+    pub scoma: u64,
+    /// Satisfied from the remote access cache.
+    pub rac: u64,
+    /// Essential cold misses: the first fetch of a block by a node, ever.
+    pub cold_essential: u64,
+    /// Induced cold misses: re-fetches forced by a remap/downgrade flush.
+    pub cold_induced: u64,
+    /// Conflict/capacity misses satisfied by a remote node (refetches).
+    pub conf_capc: u64,
+    /// Coherence misses (invalidation-induced re-fetches), reported inside
+    /// `CONF/CAPC` when rendering the paper's charts.
+    pub coherence: u64,
+}
+
+impl MissBreakdown {
+    /// Total shared-data misses that reached beyond the L1.
+    pub fn total(&self) -> u64 {
+        self.home
+            + self.scoma
+            + self.rac
+            + self.cold_essential
+            + self.cold_induced
+            + self.conf_capc
+            + self.coherence
+    }
+
+    /// `COLD` as the paper charts it (essential + induced).
+    pub fn cold(&self) -> u64 {
+        self.cold_essential + self.cold_induced
+    }
+
+    /// `CONF/CAPC` as the paper charts it (including coherence re-fetches).
+    pub fn conf_capc_chart(&self) -> u64 {
+        self.conf_capc + self.coherence
+    }
+
+    /// Misses that were satisfied without leaving the node.
+    pub fn local(&self) -> u64 {
+        self.home + self.scoma + self.rac
+    }
+
+    /// Misses that required a remote transaction.
+    pub fn remote(&self) -> u64 {
+        self.cold() + self.conf_capc_chart()
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &MissBreakdown) {
+        self.home += other.home;
+        self.scoma += other.scoma;
+        self.rac += other.rac;
+        self.cold_essential += other.cold_essential;
+        self.cold_induced += other.cold_induced;
+        self.conf_capc += other.conf_capc;
+        self.coherence += other.coherence;
+    }
+
+    /// The five chart buckets `[HOME, SCOMA, RAC, COLD, CONF/CAPC]`.
+    pub fn chart(&self) -> [u64; 5] {
+        [
+            self.home,
+            self.scoma,
+            self.rac,
+            self.cold(),
+            self.conf_capc_chart(),
+        ]
+    }
+
+    /// Labels for [`Self::chart`].
+    pub const LABELS: [&'static str; 5] = ["HOME", "SCOMA", "RAC", "COLD", "CONF/CAPC"];
+}
+
+/// Stall-cycle totals by miss-service location, the companion of
+/// [`MissBreakdown`]: dividing the two gives the *measured average
+/// latency* per location, the quantity behind the paper's Table 1 cost
+/// terms (`T_pagecache`, `T_remote`) under real contention.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissLatency {
+    /// Cycles stalled on home-local DRAM misses.
+    pub home_cycles: Cycles,
+    /// Cycles stalled on S-COMA page-cache hits.
+    pub scoma_cycles: Cycles,
+    /// Cycles stalled on RAC hits.
+    pub rac_cycles: Cycles,
+    /// Cycles stalled on remote fetches (all remote classes).
+    pub remote_cycles: Cycles,
+}
+
+impl MissLatency {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &MissLatency) {
+        self.home_cycles += other.home_cycles;
+        self.scoma_cycles += other.scoma_cycles;
+        self.rac_cycles += other.rac_cycles;
+        self.remote_cycles += other.remote_cycles;
+    }
+
+    /// Average latencies `[home, scoma, rac, remote]` given the
+    /// corresponding miss counts (0 counts give 0).
+    pub fn averages(&self, miss: &MissBreakdown) -> [f64; 4] {
+        let avg = |c: Cycles, n: u64| if n == 0 { 0.0 } else { c as f64 / n as f64 };
+        [
+            avg(self.home_cycles, miss.home),
+            avg(self.scoma_cycles, miss.scoma),
+            avg(self.rac_cycles, miss.rac),
+            avg(self.remote_cycles, miss.remote()),
+        ]
+    }
+}
+
+/// Kernel / VM activity counters for one run (per node or aggregated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// First-touch page faults (mapping creation; charged to `K-BASE`).
+    pub page_faults: u64,
+    /// CC-NUMA → S-COMA upgrades performed.
+    pub upgrades: u64,
+    /// S-COMA → CC-NUMA downgrades (victim evictions).
+    pub downgrades: u64,
+    /// Relocation interrupts taken.
+    pub relocation_interrupts: u64,
+    /// Pageout-daemon invocations.
+    pub daemon_runs: u64,
+    /// Pageout-daemon invocations that failed to reach `free_target`
+    /// (the AS-COMA thrashing signal).
+    pub daemon_failures: u64,
+    /// Pages reclaimed by the daemon.
+    pub pages_reclaimed: u64,
+    /// Cache blocks flushed during remapping (sources of induced cold misses).
+    pub blocks_flushed: u64,
+    /// Times a policy raised its refetch threshold (back-off events).
+    pub threshold_raises: u64,
+    /// Times a policy lowered its refetch threshold (recovery events).
+    pub threshold_drops: u64,
+    /// Lock acquisitions performed.
+    pub lock_acquires: u64,
+    /// Lock acquisitions that had to wait for another holder.
+    pub lock_contended: u64,
+    /// Read-only page replications created (replication extension).
+    pub replications: u64,
+    /// Replicas collapsed by a first write (replication extension).
+    pub replica_collapses: u64,
+}
+
+impl KernelStats {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &KernelStats) {
+        self.page_faults += other.page_faults;
+        self.upgrades += other.upgrades;
+        self.downgrades += other.downgrades;
+        self.relocation_interrupts += other.relocation_interrupts;
+        self.daemon_runs += other.daemon_runs;
+        self.daemon_failures += other.daemon_failures;
+        self.pages_reclaimed += other.pages_reclaimed;
+        self.blocks_flushed += other.blocks_flushed;
+        self.threshold_raises += other.threshold_raises;
+        self.threshold_drops += other.threshold_drops;
+        self.lock_acquires += other.lock_acquires;
+        self.lock_contended += other.lock_contended;
+        self.replications += other.replications;
+        self.replica_collapses += other.replica_collapses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_total_and_add() {
+        let a = ExecBreakdown {
+            u_sh_mem: 1,
+            k_base: 2,
+            k_overhd: 3,
+            u_instr: 4,
+            u_lc_mem: 5,
+            sync: 6,
+        };
+        assert_eq!(a.total(), 21);
+        let mut b = a;
+        b.add(&a);
+        assert_eq!(b.total(), 42);
+    }
+
+    #[test]
+    fn exec_normalized_sums_to_ratio() {
+        let a = ExecBreakdown {
+            u_sh_mem: 10,
+            k_base: 20,
+            k_overhd: 30,
+            u_instr: 40,
+            u_lc_mem: 0,
+            sync: 0,
+        };
+        let n = a.normalized(200);
+        let sum: f64 = n.iter().sum();
+        assert!((sum - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exec_normalized_zero_denominator_is_safe() {
+        let a = ExecBreakdown::default();
+        let n = a.normalized(0);
+        assert!(n.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn miss_chart_folds_induced_and_coherence() {
+        let m = MissBreakdown {
+            home: 1,
+            scoma: 2,
+            rac: 3,
+            cold_essential: 4,
+            cold_induced: 5,
+            conf_capc: 6,
+            coherence: 7,
+        };
+        assert_eq!(m.chart(), [1, 2, 3, 9, 13]);
+        assert_eq!(m.total(), 28);
+        assert_eq!(m.local(), 6);
+        assert_eq!(m.remote(), 22);
+    }
+
+    #[test]
+    fn kernel_stats_accumulate() {
+        let a = KernelStats {
+            page_faults: 1,
+            upgrades: 2,
+            downgrades: 3,
+            relocation_interrupts: 4,
+            daemon_runs: 5,
+            daemon_failures: 6,
+            pages_reclaimed: 7,
+            blocks_flushed: 8,
+            threshold_raises: 9,
+            threshold_drops: 10,
+            lock_acquires: 11,
+            lock_contended: 12,
+            replications: 13,
+            replica_collapses: 14,
+        };
+        let mut b = KernelStats::default();
+        b.add(&a);
+        b.add(&a);
+        assert_eq!(b.page_faults, 2);
+        assert_eq!(b.threshold_drops, 20);
+    }
+}

@@ -1,0 +1,118 @@
+//! Home-page placement: first-touch with a per-node cap.
+//!
+//! "We extended the first touch allocation algorithm to distribute home
+//! pages equally to nodes by limiting the number of home pages that are
+//! allocated at each node to a proportional share of the total number of
+//! pages.  Once this limit is reached, remaining pages are allocated in a
+//! round robin fashion to nodes that have not reached the limit."
+
+use ascoma_sim::NodeId;
+
+/// Assign a home node to every shared page.
+///
+/// `first_touch[p]` is the node that first touches page `p` (known from
+/// the workload's initialization phase).  Each node's share is capped at
+/// `ceil(pages / nodes)`; overflow pages go round-robin to under-cap nodes.
+pub fn assign_homes(first_touch: &[NodeId], nodes: usize) -> Vec<NodeId> {
+    assert!(nodes >= 1);
+    let pages = first_touch.len();
+    let cap = pages.div_ceil(nodes);
+    let mut count = vec![0usize; nodes];
+    let mut homes = vec![NodeId(0); pages];
+    let mut overflow = Vec::new();
+
+    for (p, &toucher) in first_touch.iter().enumerate() {
+        let t = toucher.idx();
+        assert!(t < nodes, "first toucher {toucher} out of range");
+        if count[t] < cap {
+            count[t] += 1;
+            homes[p] = toucher;
+        } else {
+            overflow.push(p);
+        }
+    }
+
+    // Round-robin the overflow over nodes still under the cap.
+    let mut rr = 0usize;
+    for p in overflow {
+        // Find the next node with spare capacity; guaranteed to exist
+        // because sum(cap) >= pages.
+        loop {
+            let n = rr % nodes;
+            rr += 1;
+            if count[n] < cap {
+                count[n] += 1;
+                homes[p] = NodeId(n as u16);
+                break;
+            }
+        }
+    }
+    homes
+}
+
+/// Number of pages homed at each node under `homes`.
+pub fn home_counts(homes: &[NodeId], nodes: usize) -> Vec<usize> {
+    let mut c = vec![0usize; nodes];
+    for h in homes {
+        c[h.idx()] += 1;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn balanced_first_touch_is_respected() {
+        let ft = vec![n(0), n(1), n(0), n(1)];
+        let homes = assign_homes(&ft, 2);
+        assert_eq!(homes, ft);
+    }
+
+    #[test]
+    fn cap_limits_greedy_toucher() {
+        // Node 0 touches everything; cap = 4/2 = 2.
+        let ft = vec![n(0); 4];
+        let homes = assign_homes(&ft, 2);
+        let counts = home_counts(&homes, 2);
+        assert_eq!(counts, vec![2, 2]);
+        // First two pages stay with their toucher.
+        assert_eq!(homes[0], n(0));
+        assert_eq!(homes[1], n(0));
+    }
+
+    #[test]
+    fn overflow_round_robins_across_under_cap_nodes() {
+        // 9 pages, 3 nodes, cap 3; node 0 touches 6.
+        let ft = vec![n(0), n(0), n(0), n(0), n(0), n(0), n(1), n(2), n(1)];
+        let homes = assign_homes(&ft, 3);
+        let counts = home_counts(&homes, 3);
+        assert_eq!(counts, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn single_node_owns_all() {
+        let ft = vec![n(0); 5];
+        let homes = assign_homes(&ft, 1);
+        assert!(homes.iter().all(|&h| h == n(0)));
+    }
+
+    #[test]
+    fn counts_sum_to_pages() {
+        let ft: Vec<NodeId> = (0..100).map(|i| n(i % 4)).collect();
+        let homes = assign_homes(&ft, 4);
+        assert_eq!(home_counts(&homes, 4).iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_toucher() {
+        let ft = vec![n(5)];
+        let _ = assign_homes(&ft, 2);
+    }
+}

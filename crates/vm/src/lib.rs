@@ -1,0 +1,35 @@
+//! The VM-kernel substrate of the AS-COMA simulator.
+//!
+//! The paper's architectures are *operating-system* policies as much as
+//! hardware ones: page allocation, relocation, and replacement all run in
+//! the kernel, and their overhead (`K-OVERHD`) is the paper's central
+//! measurement.  This crate implements the 4.4BSD-derived mechanisms the
+//! paper describes:
+//!
+//! * [`mode::PageMode`] — Home / CC-NUMA / S-COMA / unmapped page states.
+//! * [`page_table::PageTable`] — per-node mappings, S-COMA block-valid
+//!   bits, TLB reference bits, and VC-NUMA's per-page local refetch
+//!   counters.
+//! * [`frame_pool::FramePool`] — the free-page pool with `free_min` /
+//!   `free_target` water marks; memory pressure lives here.
+//! * [`pageout::PageoutDaemon`] — second-chance reclamation; its failure
+//!   to refill the pool is AS-COMA's thrashing signal.
+//! * [`home_alloc`] — first-touch-with-cap home-page placement.
+//! * [`costs::KernelCosts`] — the cycle-cost model for kernel operations.
+
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod frame_pool;
+pub mod home_alloc;
+pub mod mode;
+pub mod page_table;
+pub mod pageout;
+pub mod tlb;
+
+pub use costs::KernelCosts;
+pub use frame_pool::FramePool;
+pub use mode::PageMode;
+pub use page_table::PageTable;
+pub use tlb::Tlb;
+pub use pageout::{PageoutDaemon, PageoutOutcome};

@@ -1,0 +1,274 @@
+//! The pageout daemon: second-chance reclamation of cold S-COMA pages.
+//!
+//! "Whenever the size of the free page pool falls below `free_min` pages,
+//! the pageout daemon attempts to evict enough *cold* pages to refill the
+//! free page pool to `free_target` pages.  Only S-COMA pages are considered
+//! for replacement. … Cold pages are detected using a second chance
+//! algorithm: the TLB reference bit associated with each S-COMA page is
+//! reset each time it is considered for eviction by the pageout daemon.
+//! If the reference bit is zero when the pageout daemon next runs, the page
+//! is considered cold."
+//!
+//! The daemon *selects* victims; the machine layer performs the flushes
+//! (processor cache + directory writeback) and releases the frames, because
+//! those side effects span substrates.  The daemon's failure to reach
+//! `free_target` is the thrashing signal AS-COMA's back-off keys on.
+
+use crate::page_table::PageTable;
+use ascoma_sim::addr::VPage;
+use ascoma_sim::Cycles;
+
+/// Result of one daemon invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageoutOutcome {
+    /// Cold pages selected for eviction, in selection order.  The caller
+    /// must flush each, `unmap_scoma` it, and release its frame.
+    pub victims: Vec<VPage>,
+    /// Pages examined by the clock hand this run.
+    pub examined: u32,
+    /// Whether the deficit was fully covered — `false` is the paper's
+    /// thrashing indicator ("whenever the pageout daemon is unable to
+    /// reclaim at least free_target free pages, AS-COMA begins allocating
+    /// pages in CC-NUMA mode" and raises the refetch threshold).
+    pub reached_target: bool,
+}
+
+/// Second-chance pageout daemon state for one node.
+#[derive(Debug, Clone)]
+pub struct PageoutDaemon {
+    hand: usize,
+    /// Minimum cycles between successive invocations; AS-COMA's back-off
+    /// "increases the time between successive invocations of the pageout
+    /// daemon" by raising this.
+    pub period: Cycles,
+    last_run: Option<Cycles>,
+}
+
+impl PageoutDaemon {
+    /// A daemon with the given initial minimum invocation period.
+    pub fn new(period: Cycles) -> Self {
+        Self {
+            hand: 0,
+            period,
+            last_run: None,
+        }
+    }
+
+    /// Whether the daemon may run again at `now` (rate limiting).
+    pub fn may_run(&self, now: Cycles) -> bool {
+        match self.last_run {
+            None => true,
+            Some(t) => now.saturating_sub(t) >= self.period,
+        }
+    }
+
+    /// Run the daemon at `now`, trying to select `deficit` cold victims.
+    ///
+    /// Performs **one lap** of the clock over the S-COMA residency list:
+    /// a referenced page has its bit cleared and survives (second chance);
+    /// a page found unreferenced — i.e. not touched since the *previous*
+    /// daemon scan — is selected.  A single run deliberately cannot both
+    /// clear and reclaim the same page: whether a page is cold is judged
+    /// against real application activity between runs, which is exactly
+    /// the signal AS-COMA's thrashing detector needs ("the pageout daemon
+    /// will be unable to find sufficient cold pages" when the working set
+    /// is genuinely hot).
+    pub fn run(&mut self, now: Cycles, pt: &mut PageTable, deficit: u32) -> PageoutOutcome {
+        self.last_run = Some(now);
+        let n = pt.scoma_count();
+        let mut victims = Vec::new();
+        let mut examined = 0u32;
+        if n == 0 || deficit == 0 {
+            return PageoutOutcome {
+                victims,
+                examined,
+                reached_target: deficit == 0,
+            };
+        }
+        for _ in 0..n {
+            if victims.len() as u32 >= deficit {
+                break;
+            }
+            let idx = self.hand % n;
+            self.hand = (self.hand + 1) % n;
+            let page = pt.scoma_pages()[idx];
+            examined += 1;
+            if pt.test_and_clear_referenced(page) {
+                continue; // second chance
+            }
+            victims.push(page);
+        }
+        let reached = victims.len() as u32 >= deficit;
+        PageoutOutcome {
+            victims,
+            examined,
+            reached_target: reached,
+        }
+    }
+
+    /// Select a single victim immediately (the R-NUMA/VC-NUMA fault-time
+    /// replacement path, which evicts on demand rather than keeping a
+    /// pool).  Uses the same clock; if every page is referenced after one
+    /// clearing lap, the page under the hand is taken anyway.
+    pub fn pick_victim(&mut self, pt: &mut PageTable) -> Option<VPage> {
+        let n = pt.scoma_count();
+        if n == 0 {
+            return None;
+        }
+        for _ in 0..2 * n {
+            let idx = self.hand % n;
+            self.hand = (self.hand + 1) % n;
+            let page = pt.scoma_pages()[idx];
+            if !pt.test_and_clear_referenced(page) {
+                return Some(page);
+            }
+        }
+        // Everything referenced twice in a row: evict under the hand.
+        let idx = self.hand % n;
+        self.hand = (self.hand + 1) % n;
+        Some(pt.scoma_pages()[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_scoma(pages: &[u64]) -> PageTable {
+        let mut pt = PageTable::new(64, 32);
+        for (i, &p) in pages.iter().enumerate() {
+            pt.map_scoma(VPage(p), i as u32);
+        }
+        pt
+    }
+
+    #[test]
+    fn no_scoma_pages_reclaims_nothing() {
+        let mut d = PageoutDaemon::new(0);
+        let mut pt = PageTable::new(8, 32);
+        let out = d.run(0, &mut pt, 3);
+        assert!(out.victims.is_empty());
+        assert!(!out.reached_target);
+    }
+
+    #[test]
+    fn zero_deficit_is_trivially_satisfied() {
+        let mut d = PageoutDaemon::new(0);
+        let mut pt = table_with_scoma(&[1, 2]);
+        let out = d.run(0, &mut pt, 0);
+        assert!(out.reached_target);
+        assert!(out.victims.is_empty());
+    }
+
+    #[test]
+    fn referenced_pages_get_a_second_chance() {
+        let mut d = PageoutDaemon::new(0);
+        // All pages referenced (map_scoma sets the bit): one run clears
+        // bits but reclaims nothing — a fully hot set is a *failed* run.
+        let mut pt = table_with_scoma(&[1, 2, 3]);
+        let out = d.run(0, &mut pt, 2);
+        assert!(out.victims.is_empty());
+        assert!(!out.reached_target);
+        // Untouched since: the next run reclaims them.
+        let out2 = d.run(100, &mut pt, 2);
+        assert_eq!(out2.victims.len(), 2);
+        assert!(out2.reached_target);
+    }
+
+    #[test]
+    fn recently_touched_pages_survive() {
+        let mut d = PageoutDaemon::new(0);
+        let mut pt = table_with_scoma(&[1, 2, 3, 4]);
+        // Clear all bits, then touch pages 1 and 3: they are hot.
+        for p in [1u64, 2, 3, 4] {
+            pt.test_and_clear_referenced(VPage(p));
+        }
+        pt.touch(VPage(1));
+        pt.touch(VPage(3));
+        let out = d.run(0, &mut pt, 2);
+        assert_eq!(out.victims.len(), 2);
+        assert!(!out.victims.contains(&VPage(1)));
+        assert!(!out.victims.contains(&VPage(3)));
+        assert!(out.victims.contains(&VPage(2)));
+        assert!(out.victims.contains(&VPage(4)));
+    }
+
+    #[test]
+    fn all_hot_pages_means_failure() {
+        let mut d = PageoutDaemon::new(0);
+        let mut pt = table_with_scoma(&[1, 2, 3]);
+        // A page re-touched between every pair of runs is never reclaimed:
+        // sustained hotness = sustained failure (AS-COMA's thrash signal).
+        for round in 0..4u64 {
+            for p in [1u64, 2, 3] {
+                pt.touch(VPage(p));
+            }
+            let out = d.run(round * 100, &mut pt, 2);
+            assert!(out.victims.is_empty(), "round {round}: {:?}", out.victims);
+            assert!(!out.reached_target);
+            assert!(out.examined <= 3);
+        }
+    }
+
+    #[test]
+    fn deficit_larger_than_residency_fails() {
+        let mut d = PageoutDaemon::new(0);
+        let mut pt = table_with_scoma(&[1, 2]);
+        for p in [1u64, 2] {
+            pt.test_and_clear_referenced(VPage(p));
+        }
+        let out = d.run(0, &mut pt, 5);
+        assert_eq!(out.victims.len(), 2);
+        assert!(!out.reached_target);
+    }
+
+    #[test]
+    fn victims_are_not_duplicated() {
+        let mut d = PageoutDaemon::new(0);
+        let mut pt = table_with_scoma(&[1, 2, 3]);
+        for p in [1u64, 2, 3] {
+            pt.test_and_clear_referenced(VPage(p));
+        }
+        let out = d.run(0, &mut pt, 3);
+        let mut v = out.victims.clone();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), out.victims.len());
+    }
+
+    #[test]
+    fn rate_limiting_respects_period() {
+        let mut d = PageoutDaemon::new(100);
+        assert!(d.may_run(0));
+        let mut pt = table_with_scoma(&[1]);
+        d.run(0, &mut pt, 0);
+        assert!(!d.may_run(50));
+        assert!(d.may_run(100));
+    }
+
+    #[test]
+    fn pick_victim_prefers_unreferenced() {
+        let mut d = PageoutDaemon::new(0);
+        let mut pt = table_with_scoma(&[1, 2]);
+        pt.test_and_clear_referenced(VPage(2));
+        // Page 1 referenced, page 2 not: 2 must be picked.
+        assert_eq!(d.pick_victim(&mut pt), Some(VPage(2)));
+    }
+
+    #[test]
+    fn pick_victim_falls_back_when_all_hot() {
+        let mut d = PageoutDaemon::new(0);
+        let mut pt = table_with_scoma(&[1]);
+        // Keep the page referenced across laps... bits only clear once per
+        // encounter, so the second lap will find it unreferenced; re-touch
+        // is a machine-level behavior.  Verify a victim is always produced.
+        assert!(d.pick_victim(&mut pt).is_some());
+    }
+
+    #[test]
+    fn pick_victim_none_without_scoma_pages() {
+        let mut d = PageoutDaemon::new(0);
+        let mut pt = PageTable::new(8, 32);
+        assert_eq!(d.pick_victim(&mut pt), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the VM substrate: frame-pool soundness, home
+//! placement balance, and page-table valid-bit behavior under random
+//! operation sequences.
+
+use ascoma_sim::addr::VPage;
+use ascoma_sim::NodeId;
+use ascoma_vm::home_alloc::{assign_homes, home_counts};
+use ascoma_vm::{FramePool, PageTable};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The pool never hands out the same frame twice, never hands out
+    /// home frames, and release/alloc round-trips preserve the free count.
+    #[test]
+    fn frame_pool_never_double_allocates(
+        total in 2u32..64,
+        ops in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let home = total / 2;
+        let mut pool = FramePool::new(total, home, 1, 2);
+        let mut live: BTreeSet<u32> = BTreeSet::new();
+        for alloc in ops {
+            if alloc {
+                if let Some(f) = pool.alloc() {
+                    prop_assert!(f >= home && f < total, "frame {f} out of range");
+                    prop_assert!(live.insert(f), "double allocation of {f}");
+                }
+            } else if let Some(&f) = live.iter().next() {
+                live.remove(&f);
+                pool.release(f);
+            }
+            prop_assert_eq!(
+                pool.free_count() + live.len() as u32,
+                total - home,
+                "conservation violated"
+            );
+        }
+    }
+
+    /// First-touch-with-cap placement is balanced: every node within
+    /// ceil(pages/nodes), totals conserved, and touchers under the cap
+    /// keep their pages.
+    #[test]
+    fn home_assignment_is_balanced(
+        nodes in 2usize..8,
+        touchers in proptest::collection::vec(0u16..8, 1..200),
+    ) {
+        let ft: Vec<NodeId> = touchers
+            .iter()
+            .map(|&t| NodeId(t % nodes as u16))
+            .collect();
+        let homes = assign_homes(&ft, nodes);
+        let counts = home_counts(&homes, nodes);
+        let cap = ft.len().div_ceil(nodes);
+        prop_assert_eq!(counts.iter().sum::<usize>(), ft.len());
+        for (n, &c) in counts.iter().enumerate() {
+            prop_assert!(c <= cap, "node {n} over cap: {c} > {cap}");
+        }
+        // A node that touched fewer pages than the cap keeps all of them.
+        let mut touched = vec![0usize; nodes];
+        for t in &ft {
+            touched[t.idx()] += 1;
+        }
+        for (n, &tn) in touched.iter().enumerate() {
+            if tn <= cap {
+                let kept = homes
+                    .iter()
+                    .zip(&ft)
+                    .filter(|(h, t)| h.idx() == n && t.idx() == n)
+                    .count();
+                prop_assert_eq!(kept, tn, "node {} lost first-touch pages", n);
+            }
+        }
+    }
+
+    /// Valid-bit bookkeeping matches a BTreeSet model through arbitrary
+    /// set/clear sequences, and unmap clears everything.
+    #[test]
+    fn valid_bits_match_set_model(
+        ops in proptest::collection::vec((0u32..32, any::<bool>()), 1..200),
+    ) {
+        let mut pt = PageTable::new(4, 32);
+        pt.map_scoma(VPage(1), 0);
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for (b, set) in ops {
+            if set {
+                pt.set_block_valid(VPage(1), b);
+                model.insert(b);
+            } else {
+                pt.clear_block_valid(VPage(1), b);
+                model.remove(&b);
+            }
+            prop_assert_eq!(pt.valid_blocks(VPage(1)) as usize, model.len());
+            for i in 0..32 {
+                prop_assert_eq!(pt.block_valid(VPage(1), i), model.contains(&i));
+            }
+        }
+        pt.unmap_scoma(VPage(1));
+        prop_assert_eq!(pt.valid_blocks(VPage(1)), 0);
+    }
+
+    /// The S-COMA residency list stays consistent with mapping state
+    /// through random map/unmap sequences.
+    #[test]
+    fn residency_list_matches_mapping_state(
+        ops in proptest::collection::vec((0u64..16, any::<bool>()), 1..150),
+    ) {
+        let mut pt = PageTable::new(16, 32);
+        let mut frames: u32 = 0;
+        for (page, map) in ops {
+            let p = VPage(page);
+            let is_scoma = pt.mode(p).is_scoma();
+            if map && !is_scoma && pt.mode(p) == ascoma_vm::PageMode::Unmapped {
+                pt.map_scoma(p, frames);
+                frames += 1;
+            } else if !map && is_scoma {
+                pt.unmap_scoma(p);
+            }
+            // Residency list membership == scoma mode, no duplicates.
+            let listed: BTreeSet<u64> = pt.scoma_pages().iter().map(|q| q.0).collect();
+            prop_assert_eq!(listed.len(), pt.scoma_count());
+            for q in 0..16u64 {
+                prop_assert_eq!(
+                    listed.contains(&q),
+                    pt.mode(VPage(q)).is_scoma(),
+                    "page {} listing mismatch", q
+                );
+            }
+        }
+    }
+}

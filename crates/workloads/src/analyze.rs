@@ -1,0 +1,162 @@
+//! Static workload analysis: the inputs to the paper's Table 5.
+//!
+//! For each workload the paper reports the number of *home pages* per node,
+//! the *maximum remote pages* any node ever accesses, and the *ideal
+//! pressure* — "the memory pressure below which S-COMA and AS-COMA machines
+//! act like a 'perfect' S-COMA, meaning that every node has enough free
+//! memory to cache all remote pages that it will ever access."
+//!
+//! These quantities are derivable from the trace without simulation:
+//! membership (which pages a node touches) is static, and homes follow
+//! from first-touch-with-cap placement.
+
+use crate::trace::{ScheduleItem, Trace};
+use ascoma_sim::NodeId;
+use ascoma_vm::home_alloc::{assign_homes, home_counts};
+
+/// Table 5 row data for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Workload name.
+    pub name: String,
+    /// Nodes in the run.
+    pub nodes: usize,
+    /// Total shared pages.
+    pub shared_pages: u64,
+    /// Home pages at each node.
+    pub home_pages: Vec<usize>,
+    /// Distinct remote pages accessed by each node.
+    pub remote_pages: Vec<usize>,
+    /// Max over nodes of `remote_pages` (Table 5's "Maximum remote pages").
+    pub max_remote_pages: usize,
+    /// Ideal memory pressure: `home / (home + max_remote)` — below this,
+    /// every node can cache its entire remote working set locally.
+    pub ideal_pressure: f64,
+    /// Total dynamic memory operations in the trace.
+    pub total_ops: u64,
+    /// Dynamic shared accesses per node that target remote-homed pages.
+    pub remote_access_fraction: f64,
+}
+
+/// Compute the home map for a trace (first-touch with per-node cap).
+pub fn homes_of(trace: &Trace) -> Vec<NodeId> {
+    assign_homes(&trace.first_toucher, trace.nodes)
+}
+
+/// Analyze a trace into its Table 5 profile.
+pub fn profile(trace: &Trace, page_bytes: u64) -> WorkloadProfile {
+    let homes = homes_of(trace);
+    let home_pages = home_counts(&homes, trace.nodes);
+
+    let mut remote_pages = vec![0usize; trace.nodes];
+    let mut remote_accesses = 0u64;
+    let mut shared_accesses = 0u64;
+
+    for (n, prog) in trace.programs.iter().enumerate() {
+        // Dynamic multiplicity of each segment.
+        let mut mult = vec![0u64; prog.segments.len()];
+        for item in &prog.schedule {
+            if let ScheduleItem::Run(i) = item {
+                mult[*i as usize] += 1;
+            }
+        }
+        let mut touched = vec![false; trace.shared_pages as usize];
+        for (seg, &m) in prog.segments.iter().zip(&mult) {
+            if m == 0 {
+                continue;
+            }
+            for op in &seg.ops {
+                if op.private() {
+                    continue;
+                }
+                shared_accesses += m;
+                let page = (op.addr() / page_bytes) as usize;
+                if homes[page].idx() != n {
+                    touched[page] = true;
+                    remote_accesses += m;
+                }
+            }
+        }
+        remote_pages[n] = touched.iter().filter(|&&t| t).count();
+    }
+
+    let max_remote = remote_pages.iter().copied().max().unwrap_or(0);
+    let mean_home =
+        home_pages.iter().sum::<usize>() as f64 / trace.nodes as f64;
+    let ideal = if mean_home + max_remote as f64 > 0.0 {
+        mean_home / (mean_home + max_remote as f64)
+    } else {
+        1.0
+    };
+
+    WorkloadProfile {
+        name: trace.name.clone(),
+        nodes: trace.nodes,
+        shared_pages: trace.shared_pages,
+        home_pages,
+        remote_pages,
+        max_remote_pages: max_remote,
+        ideal_pressure: ideal,
+        total_ops: trace.total_ops(),
+        remote_access_fraction: if shared_accesses > 0 {
+            remote_accesses as f64 / shared_accesses as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{NodeProgram, Segment, Trace};
+
+    /// Two nodes; node 0 homes page 0, node 1 homes page 1; node 0 reads
+    /// page 1 (remote), node 1 reads only its own page.
+    fn tiny() -> Trace {
+        let mut p0 = NodeProgram::default();
+        let mut s0 = Segment::new(0);
+        s0.push(0, false); // local
+        s0.push(4096, false); // remote
+        let i0 = p0.add_segment(s0);
+        p0.schedule = vec![ScheduleItem::Run(i0), ScheduleItem::Run(i0)];
+
+        let mut p1 = NodeProgram::default();
+        let mut s1 = Segment::new(0);
+        s1.push(4096, false); // local to node 1
+        let i1 = p1.add_segment(s1);
+        p1.schedule = vec![ScheduleItem::Run(i1)];
+
+        Trace {
+            name: "tiny".into(),
+            nodes: 2,
+            shared_pages: 2,
+            first_toucher: vec![NodeId(0), NodeId(1)],
+            programs: vec![p0, p1],
+        }
+    }
+
+    #[test]
+    fn profile_counts_remote_membership() {
+        let p = profile(&tiny(), 4096);
+        assert_eq!(p.home_pages, vec![1, 1]);
+        assert_eq!(p.remote_pages, vec![1, 0]);
+        assert_eq!(p.max_remote_pages, 1);
+    }
+
+    #[test]
+    fn ideal_pressure_formula() {
+        let p = profile(&tiny(), 4096);
+        // mean home 1, max remote 1 -> 0.5.
+        assert!((p.ideal_pressure - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_access_fraction_uses_dynamic_counts() {
+        let p = profile(&tiny(), 4096);
+        // Node 0 runs its segment twice: 2 local + 2 remote; node 1: 1
+        // local. Remote fraction = 2/5.
+        assert!((p.remote_access_fraction - 0.4).abs() < 1e-9);
+        assert_eq!(p.total_ops, 5);
+    }
+}

@@ -1,0 +1,246 @@
+//! `barnes` — SPLASH-2 Barnes-Hut N-body simulation (paper input: 16 K
+//! particles).
+//!
+//! Structure reproduced: a distributed body array; each iteration every
+//! node's force computation re-reads a *dense contiguous window* of every
+//! other node's bodies (the paper: "Barnes exhibits very high spatial
+//! locality.  It accesses large dense regions of remote memory, and thus
+//! can make good use of a local S-COMA page cache"), with heavy user
+//! compute per interaction ("barnes is very compute-intensive").  The same
+//! windows recur every iteration, so "most of the remote pages that are
+//! accessed are part of the working set and 'hot' for long periods of
+//! execution" — the second thrash-sensitive application alongside em3d
+//! and radix.
+
+use crate::synth::{sweep, sweep_private, Arena};
+use crate::trace::{NodeProgram, ScheduleItem, Segment, Trace};
+
+/// Parameters for the barnes generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BarnesParams {
+    /// Compute nodes.
+    pub nodes: usize,
+    /// Bodies per node.
+    pub bodies_per_node: u64,
+    /// Bytes per body record.
+    pub body_bytes: u64,
+    /// Fraction of each peer's slab read during force computation.
+    pub window_frac: f64,
+    /// Force-phase sweeps of the remote windows per timestep (the tree
+    /// walk reads each interacting body many times per step; the L1 is
+    /// thrashed between re-reads by local traffic, so re-reads miss and
+    /// are absorbed by the page cache on S-COMA-like machines).
+    pub reuse: u32,
+    /// Simulation timesteps.
+    pub iters: u32,
+    /// User compute cycles per interaction (high: compute-bound app).
+    pub compute_per_op: u32,
+    /// Private scratch (stacks) swept per iteration.
+    pub private_bytes: u64,
+    /// Shared octree-cell pages rebuilt each timestep under locks.
+    pub tree_pages: u64,
+    /// Lock-protected insertion batches per node per timestep.
+    pub tree_batches: u32,
+    /// Number of tree locks (cell subtrees).
+    pub tree_locks: u32,
+}
+
+impl Default for BarnesParams {
+    fn default() -> Self {
+        Self {
+            nodes: 8,
+            bodies_per_node: 4096,
+            body_bytes: 128,
+            window_frac: 0.25,
+            reuse: 3,
+            iters: 6,
+            compute_per_op: 30,
+            private_bytes: 16 * 1024,
+            tree_pages: 16,
+            tree_batches: 8,
+            tree_locks: 4,
+        }
+    }
+}
+
+impl BarnesParams {
+    /// A tiny configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            nodes: 4,
+            bodies_per_node: 256,
+            iters: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Paper-like scale (16 K particles; ~0.5 MB of home data per node —
+    /// the paper notes barnes's simulated problem size is small).
+    pub fn paper() -> Self {
+        Self {
+            bodies_per_node: 2048,
+            window_frac: 0.3,
+            iters: 8,
+            ..Self::default()
+        }
+    }
+
+    /// Build the trace.
+    pub fn build(&self, page_bytes: u64) -> Trace {
+        assert!(self.nodes >= 2);
+        let mut arena = Arena::new(page_bytes);
+        let bodies = arena.alloc_partitioned(
+            self.bodies_per_node * self.body_bytes * self.nodes as u64,
+            self.nodes,
+        );
+        // The shared octree cells, rebuilt under locks every timestep.
+        let tree = arena.alloc_partitioned(self.tree_pages * page_bytes, self.nodes);
+
+        let mut programs = Vec::with_capacity(self.nodes);
+        for n in 0..self.nodes {
+            let mut prog = NodeProgram::default();
+            let my = bodies.slab(n, self.nodes, page_bytes);
+
+            // Force computation: the tree walk re-reads the interacting
+            // windows of every peer's bodies `reuse` times per step, with
+            // local-slab traffic between re-reads evicting them from the
+            // small L1.
+            let mut force = Segment::new(self.compute_per_op);
+            for _ in 0..self.reuse.max(1) {
+                for j in 0..self.nodes {
+                    let theirs = bodies.slab(j, self.nodes, page_bytes);
+                    let window = if j == n {
+                        theirs.bytes
+                    } else {
+                        ((theirs.bytes as f64 * self.window_frac) as u64)
+                            .max(self.body_bytes)
+                            .min(theirs.bytes)
+                    };
+                    sweep(&mut force, theirs.base, window, self.body_bytes, false);
+                }
+            }
+            sweep_private(&mut force, 0, self.private_bytes, 64, false);
+            let fi = prog.add_segment(force);
+
+            // Position update: write sweep of own bodies.
+            let mut update = Segment::new(4);
+            sweep(&mut update, my.base, my.bytes, self.body_bytes, true);
+            let ui = prog.add_segment(update);
+
+            // Tree build: each batch inserts a slice of the node's bodies
+            // into the shared cell array under a subtree lock (the SPLASH
+            // barnes loading phase).  Cells are write-shared across nodes.
+            let batches: Vec<u32> = (0..self.tree_batches)
+                .map(|b| {
+                    let mut seg = Segment::new(6);
+                    let cells_per_batch =
+                        (tree.bytes / self.tree_batches as u64 / 64).max(1);
+                    for c in 0..cells_per_batch {
+                        // Interleave nodes within the cell array so cells
+                        // are genuinely shared.
+                        let off = ((b as u64 * cells_per_batch + c)
+                            * self.nodes as u64
+                            + n as u64)
+                            * 64
+                            % tree.bytes;
+                        seg.push(tree.base + (off & !63), true);
+                    }
+                    prog.add_segment(seg)
+                })
+                .collect();
+
+            for _ in 0..self.iters {
+                for (b, &seg) in batches.iter().enumerate() {
+                    let lock = b as u32 % self.tree_locks.max(1);
+                    prog.schedule.push(ScheduleItem::Lock(lock));
+                    prog.schedule.push(ScheduleItem::Run(seg));
+                    prog.schedule.push(ScheduleItem::Unlock(lock));
+                }
+                prog.schedule.push(ScheduleItem::Barrier);
+                prog.schedule.push(ScheduleItem::Run(fi));
+                prog.schedule.push(ScheduleItem::Barrier);
+                prog.schedule.push(ScheduleItem::Run(ui));
+                prog.schedule.push(ScheduleItem::Barrier);
+            }
+            programs.push(prog);
+        }
+
+        let shared_pages = arena.pages();
+        Trace {
+            name: "barnes".into(),
+            nodes: self.nodes,
+            shared_pages,
+            first_toucher: arena.into_first_toucher(),
+            programs,
+        }
+    }
+}
+
+/// Convenience: build with default parameters.
+pub fn barnes(page_bytes: u64) -> Trace {
+    BarnesParams::default().build(page_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::profile;
+
+    #[test]
+    fn builds_valid_trace() {
+        let t = BarnesParams::tiny().build(4096);
+        t.validate(4096);
+        assert!(t.total_ops() > 0);
+    }
+
+    #[test]
+    fn remote_windows_are_dense_and_bounded() {
+        let p = BarnesParams::default();
+        let prof = profile(&p.build(4096), 4096);
+        let slab_pages = (p.bodies_per_node * p.body_bytes / 4096) as usize;
+        let per_peer = (slab_pages as f64 * p.window_frac).ceil() as usize + 1;
+        // Remote membership = force-phase windows + the shared tree cells.
+        let bound = (p.nodes - 1) * per_peer + p.tree_pages as usize;
+        assert!(prof.max_remote_pages <= bound);
+        assert!(prof.max_remote_pages >= (p.nodes - 1) * per_peer / 2);
+    }
+
+    #[test]
+    fn ideal_pressure_matches_paper_band() {
+        // The paper's barnes ideal pressure is in the 30-40% region.
+        let prof = profile(&BarnesParams::default().build(4096), 4096);
+        assert!(
+            (0.25..0.5).contains(&prof.ideal_pressure),
+            "ideal pressure {}",
+            prof.ideal_pressure
+        );
+    }
+
+    #[test]
+    fn reads_are_spatially_dense() {
+        let t = BarnesParams::tiny().build(4096);
+        let force = &t.programs[0].segments[0];
+        let shared: Vec<u64> = force
+            .ops
+            .iter()
+            .filter(|o| !o.private())
+            .map(|o| o.addr())
+            .collect();
+        let sequential = shared
+            .windows(2)
+            .filter(|w| w[1] == w[0] + 128)
+            .count();
+        assert!(
+            sequential * 10 >= shared.len() * 7,
+            "force reads not dense: {sequential}/{}",
+            shared.len()
+        );
+    }
+
+    #[test]
+    fn compute_heavy() {
+        let p = BarnesParams::default();
+        let t = p.build(4096);
+        assert!(t.programs[0].segments[0].compute_per_op >= 10);
+    }
+}

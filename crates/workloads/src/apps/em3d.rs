@@ -1,0 +1,247 @@
+//! `em3d` — electromagnetic wave propagation on a bipartite graph
+//! (Split-C benchmark, shared-memory port; paper input: 32 K nodes, 5%
+//! remote edges, 10 iterations).
+//!
+//! Structure reproduced: two arrays of graph nodes (E and H), block-
+//! partitioned; each update of a local E-node reads `degree` H-neighbors
+//! of which a fixed ~5% live on *other* compute nodes, within a bounded
+//! window of each neighbor's slab (the graph is built once, so the same
+//! remote pages are re-read every iteration — "most of the remote pages
+//! ever accessed are in the node's working set, i.e., they are 'hot'
+//! pages").  This is the paper's poster child for thrashing: R-NUMA
+//! collapses above ~70% pressure while AS-COMA holds.
+
+use crate::synth::{sweep_private, Arena};
+use crate::trace::{NodeProgram, ScheduleItem, Segment, Trace};
+use ascoma_sim::rng::SimRng;
+
+/// Parameters for the em3d generator.
+#[derive(Debug, Clone, Copy)]
+pub struct Em3dParams {
+    /// Compute nodes.
+    pub nodes: usize,
+    /// Graph nodes (per array) per compute node.
+    pub n_per_node: u64,
+    /// Bytes per graph-node record.
+    pub elem_bytes: u64,
+    /// Edges per graph node.
+    pub degree: u32,
+    /// Fraction of edges crossing compute nodes (paper: 5%).
+    pub remote_frac: f64,
+    /// How many downstream neighbors receive a node's remote edges.
+    pub neighbor_span: usize,
+    /// Fraction of a neighbor's slab that remote edges may target.
+    pub remote_window_frac: f64,
+    /// Sweep iterations (paper: 10).
+    pub iters: u32,
+    /// User compute cycles per access.
+    pub compute_per_op: u32,
+    /// Private scratch bytes swept once per iteration.
+    pub private_bytes: u64,
+    /// RNG seed for graph construction.
+    pub seed: u64,
+}
+
+impl Default for Em3dParams {
+    fn default() -> Self {
+        Self {
+            nodes: 8,
+            n_per_node: 8192,
+            elem_bytes: 64,
+            degree: 8,
+            remote_frac: 0.05,
+            neighbor_span: 3,
+            remote_window_frac: 0.22,
+            iters: 10,
+            compute_per_op: 8,
+            private_bytes: 16 * 1024,
+            seed: 0xE3D0,
+        }
+    }
+}
+
+impl Em3dParams {
+    /// A tiny configuration for unit/integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            nodes: 4,
+            n_per_node: 512,
+            iters: 2,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's input scale (32 K graph nodes, 10 iterations).
+    pub fn paper() -> Self {
+        Self {
+            nodes: 8,
+            n_per_node: 4096,
+            elem_bytes: 256,
+            iters: 10,
+            ..Self::default()
+        }
+    }
+
+    /// Build the trace.
+    pub fn build(&self, page_bytes: u64) -> Trace {
+        assert!(self.nodes >= 2, "em3d needs at least 2 nodes");
+        let mut arena = Arena::new(page_bytes);
+        let total = self.n_per_node * self.nodes as u64;
+        let e_arr = arena.alloc_partitioned(total * self.elem_bytes, self.nodes);
+        let h_arr = arena.alloc_partitioned(total * self.elem_bytes, self.nodes);
+        let root = SimRng::seed_from(self.seed);
+
+        let mut programs = Vec::with_capacity(self.nodes);
+        for n in 0..self.nodes {
+            let mut rng = root.derive(n as u64);
+            let mut prog = NodeProgram::default();
+
+            // One update segment per (target array, source array) phase.
+            let mk_phase = |dst_base: u64, src_base: u64, rng: &mut SimRng| {
+                let mut seg = Segment::new(self.compute_per_op);
+                let my_slab = |base: u64| base + n as u64 * self.n_per_node * self.elem_bytes;
+                let dst0 = my_slab(dst_base);
+                let src0 = my_slab(src_base);
+                let window =
+                    ((self.n_per_node as f64 * self.remote_window_frac) as u64).max(1);
+                for i in 0..self.n_per_node {
+                    for _ in 0..self.degree {
+                        if rng.chance(self.remote_frac) {
+                            // Remote edge: bounded window of a downstream
+                            // neighbor's source slab.
+                            let nb =
+                                (n + 1 + rng.below(self.neighbor_span as u64) as usize)
+                                    % self.nodes;
+                            let idx = rng.below(window);
+                            let a = src_base
+                                + (nb as u64 * self.n_per_node + idx) * self.elem_bytes;
+                            seg.push(a, false);
+                        } else if rng.chance(0.9) {
+                            // Local edge with graph locality: neighbours
+                            // cluster near the node itself, so most local
+                            // reads hit lines already resident in the L1.
+                            let span = 16u64;
+                            let lo = i.saturating_sub(span / 2);
+                            let idx = (lo + rng.below(span)).min(self.n_per_node - 1);
+                            seg.push(src0 + idx * self.elem_bytes, false);
+                        } else {
+                            // Long-range local edge.
+                            let idx = rng.below(self.n_per_node);
+                            seg.push(src0 + idx * self.elem_bytes, false);
+                        }
+                    }
+                    seg.push(dst0 + i * self.elem_bytes, true);
+                }
+                seg
+            };
+
+            let e_seg = mk_phase(e_arr.base, h_arr.base, &mut rng);
+            let h_seg = mk_phase(h_arr.base, e_arr.base, &mut rng);
+            let ei = prog.add_segment(e_seg);
+            let hi = prog.add_segment(h_seg);
+
+            let mut priv_seg = Segment::new(1);
+            sweep_private(&mut priv_seg, 0, self.private_bytes, 64, true);
+            let pi = prog.add_segment(priv_seg);
+
+            for _ in 0..self.iters {
+                prog.schedule.push(ScheduleItem::Run(ei));
+                prog.schedule.push(ScheduleItem::Barrier);
+                prog.schedule.push(ScheduleItem::Run(hi));
+                prog.schedule.push(ScheduleItem::Run(pi));
+                prog.schedule.push(ScheduleItem::Barrier);
+            }
+            programs.push(prog);
+        }
+
+        let shared_pages = arena.pages();
+        Trace {
+            name: "em3d".into(),
+            nodes: self.nodes,
+            shared_pages,
+            first_toucher: arena.into_first_toucher(),
+            programs,
+        }
+    }
+}
+
+/// Convenience: build with default parameters.
+pub fn em3d(page_bytes: u64) -> Trace {
+    Em3dParams::default().build(page_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::profile;
+
+    #[test]
+    fn builds_valid_trace() {
+        let t = Em3dParams::tiny().build(4096);
+        t.validate(4096);
+        assert_eq!(t.nodes, 4);
+        assert!(t.total_ops() > 0);
+    }
+
+    #[test]
+    fn remote_pages_are_bounded_by_window() {
+        let p = Em3dParams::default();
+        let t = p.build(4096);
+        let prof = profile(&t, 4096);
+        // Remote edges target at most neighbor_span windows, in each of
+        // the two arrays (E-phase reads H windows, H-phase reads E windows).
+        let slab_pages = (p.n_per_node * p.elem_bytes) as usize / 4096;
+        let window_pages =
+            (slab_pages as f64 * p.remote_window_frac).ceil() as usize + p.neighbor_span;
+        assert!(
+            prof.max_remote_pages <= 2 * p.neighbor_span * window_pages + 2,
+            "remote pages {} exceed window bound",
+            prof.max_remote_pages
+        );
+        assert!(prof.max_remote_pages > 0);
+    }
+
+    #[test]
+    fn ideal_pressure_is_moderately_high() {
+        // The paper's em3d thrashes only above ~70% pressure; our
+        // generator must put the ideal pressure in that region.
+        let prof = profile(&Em3dParams::default().build(4096), 4096);
+        assert!(
+            (0.5..0.9).contains(&prof.ideal_pressure),
+            "ideal pressure {} outside em3d-like range",
+            prof.ideal_pressure
+        );
+    }
+
+    #[test]
+    fn remote_fraction_is_near_configured() {
+        let p = Em3dParams::default();
+        let prof = profile(&p.build(4096), 4096);
+        // degree reads at 5% remote + 1 local write per graph node:
+        // expected remote dynamic fraction = 0.05 * d / (d + 1) = 4%.
+        assert!(
+            (0.02..0.07).contains(&prof.remote_access_fraction),
+            "remote fraction {}",
+            prof.remote_access_fraction
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Em3dParams::tiny().build(4096);
+        let b = Em3dParams::tiny().build(4096);
+        assert_eq!(a.total_ops(), b.total_ops());
+        assert_eq!(
+            a.programs[0].segments[0].ops,
+            b.programs[0].segments[0].ops
+        );
+    }
+
+    #[test]
+    fn barrier_counts_match_across_nodes() {
+        let t = Em3dParams::tiny().build(4096);
+        let b0 = t.programs[0].barrier_count();
+        assert!(t.programs.iter().all(|p| p.barrier_count() == b0));
+        assert_eq!(b0, 2 * 2); // 2 barriers per iteration x 2 iters
+    }
+}

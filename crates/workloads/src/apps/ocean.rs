@@ -1,0 +1,188 @@
+//! `ocean` — SPLASH-2 ocean current simulation (paper input: 258x258
+//! grid).
+//!
+//! Structure reproduced: several row-partitioned grids updated with a
+//! near-neighbour stencil.  A node's sweep is almost entirely local; only
+//! the *boundary rows* of the adjacent partitions are remote, so "even at
+//! 90% memory pressure, only ~3% of cache misses are to remote data, and
+//! most such accesses can be supplied from a local S-COMA page or the
+//! RAC.  As a result, all of the architectures other than pure S-COMA
+//! perform within a few percent of one another."
+
+use crate::synth::{sweep, sweep_private, Arena};
+use crate::trace::{NodeProgram, ScheduleItem, Segment, Trace};
+
+/// Parameters for the ocean generator.
+#[derive(Debug, Clone, Copy)]
+pub struct OceanParams {
+    /// Compute nodes.
+    pub nodes: usize,
+    /// Grid rows per node (contiguous partition).
+    pub rows_per_node: u64,
+    /// Bytes per grid row (columns x 8).
+    pub row_bytes: u64,
+    /// Number of grids (ocean solves several fields).
+    pub grids: u32,
+    /// Stencil iterations.
+    pub iters: u32,
+    /// User compute cycles per access.
+    pub compute_per_op: u32,
+    /// Access stride for interior sweeps.
+    pub stride: u64,
+    /// Private scratch bytes swept per iteration.
+    pub private_bytes: u64,
+}
+
+impl Default for OceanParams {
+    fn default() -> Self {
+        Self {
+            nodes: 8,
+            rows_per_node: 32,
+            row_bytes: 2048,
+            grids: 4,
+            iters: 10,
+            compute_per_op: 5,
+            stride: 64,
+            private_bytes: 8 * 1024,
+        }
+    }
+}
+
+impl OceanParams {
+    /// A tiny configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            nodes: 4,
+            rows_per_node: 8,
+            grids: 2,
+            iters: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Paper-like scale (258x258 grid of doubles, several fields).
+    pub fn paper() -> Self {
+        Self {
+            rows_per_node: 33,
+            row_bytes: 258 * 8,
+            grids: 6,
+            iters: 12,
+            ..Self::default()
+        }
+    }
+
+    /// Build the trace.
+    pub fn build(&self, page_bytes: u64) -> Trace {
+        assert!(self.nodes >= 2);
+        let mut arena = Arena::new(page_bytes);
+        let slab_bytes = self.rows_per_node * self.row_bytes;
+        let grids: Vec<_> = (0..self.grids)
+            .map(|_| arena.alloc_partitioned(slab_bytes * self.nodes as u64, self.nodes))
+            .collect();
+
+        let mut programs = Vec::with_capacity(self.nodes);
+        for n in 0..self.nodes {
+            let mut prog = NodeProgram::default();
+            let mut seg = Segment::new(self.compute_per_op);
+            for g in &grids {
+                let my = g.slab(n, self.nodes, page_bytes);
+                // Interior stencil sweep: read + write own rows.
+                sweep(&mut seg, my.base, my.bytes.min(slab_bytes), self.stride, false);
+                sweep(&mut seg, my.base, my.bytes.min(slab_bytes), self.stride, true);
+                // Boundary rows of neighbours (read-only, remote).
+                if n > 0 {
+                    let up = g.slab(n - 1, self.nodes, page_bytes);
+                    let last_row = up.base + up.bytes.saturating_sub(self.row_bytes);
+                    sweep(&mut seg, last_row, self.row_bytes, 32, false);
+                }
+                if n + 1 < self.nodes {
+                    let down = g.slab(n + 1, self.nodes, page_bytes);
+                    sweep(&mut seg, down.base, self.row_bytes.min(down.bytes), 32, false);
+                }
+            }
+            sweep_private(&mut seg, 0, self.private_bytes, 64, true);
+            let si = prog.add_segment(seg);
+            for _ in 0..self.iters {
+                prog.schedule.push(ScheduleItem::Run(si));
+                prog.schedule.push(ScheduleItem::Barrier);
+            }
+            programs.push(prog);
+        }
+
+        let shared_pages = arena.pages();
+        Trace {
+            name: "ocean".into(),
+            nodes: self.nodes,
+            shared_pages,
+            first_toucher: arena.into_first_toucher(),
+            programs,
+        }
+    }
+}
+
+/// Convenience: build with default parameters.
+pub fn ocean(page_bytes: u64) -> Trace {
+    OceanParams::default().build(page_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::profile;
+
+    #[test]
+    fn builds_valid_trace() {
+        let t = OceanParams::tiny().build(4096);
+        t.validate(4096);
+        assert!(t.total_ops() > 0);
+    }
+
+    #[test]
+    fn remote_traffic_is_tiny() {
+        let prof = profile(&OceanParams::default().build(4096), 4096);
+        assert!(
+            prof.remote_access_fraction < 0.08,
+            "remote fraction {} too high for ocean",
+            prof.remote_access_fraction
+        );
+    }
+
+    #[test]
+    fn remote_pages_are_only_boundaries() {
+        let p = OceanParams::default();
+        let prof = profile(&p.build(4096), 4096);
+        // At most ~2 boundary rows per grid per side; each row spans
+        // <= row_bytes/page + 1 pages.
+        let per_row_pages = (p.row_bytes / 4096 + 2) as usize;
+        let bound = 2 * p.grids as usize * per_row_pages;
+        assert!(
+            prof.max_remote_pages <= bound,
+            "remote pages {} exceed boundary bound {}",
+            prof.max_remote_pages,
+            bound
+        );
+    }
+
+    #[test]
+    fn edge_nodes_have_one_neighbour() {
+        let p = OceanParams::tiny();
+        let prof = profile(&p.build(4096), 4096);
+        // Node 0 and the last node touch fewer remote pages than interior
+        // nodes (one boundary instead of two).
+        let interior = prof.remote_pages[1];
+        assert!(prof.remote_pages[0] <= interior);
+        assert!(prof.remote_pages[p.nodes - 1] <= interior);
+    }
+
+    #[test]
+    fn ideal_pressure_is_high() {
+        // Almost no remote working set: ocean's ideal pressure is close
+        // to 1, i.e. S-COMA-like behavior survives to high pressures.
+        let prof = profile(&OceanParams::default().build(4096), 4096);
+        assert!(
+            prof.ideal_pressure > 0.75,
+            "ideal pressure {}",
+            prof.ideal_pressure
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! `radix` — SPLASH-2 radix sort (paper input: 2 M keys, radix 1024).
+//!
+//! Structure reproduced: per-pass histogram sweeps over the node's local
+//! key slab, then a *permutation scatter*: every node writes keys into
+//! rank-order positions spread over the **entire** destination array.
+//! "radix exhibits almost no spatial locality.  Every node accesses every
+//! page of shared data at some time during execution … each page is
+//! roughly as 'hot' as any other, so the page cache should simply be
+//! loaded with some reasonable set of 'hot' pages and left alone."
+//!
+//! The scatter slots are *block-disjoint* across nodes (real radix writes
+//! disjoint rank ranges; block-disjointness reproduces the low
+//! write-sharing at DSM-block grain while keeping every node active on
+//! every page), and each node revisits its slots several times per pass at
+//! widely separated times (multiple keys land in each line), which is what
+//! drives per-page refetch counts across the relocation threshold and
+//! makes pure S-COMA 2-3x worse than CC-NUMA even at low pressure.
+
+use crate::synth::{sweep, Arena};
+use crate::trace::{NodeProgram, ScheduleItem, Segment, Trace};
+use ascoma_sim::rng::SimRng;
+
+/// Parameters for the radix generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RadixParams {
+    /// Compute nodes.
+    pub nodes: usize,
+    /// Destination array pages (the scatter target; also the key volume).
+    pub dest_pages: u64,
+    /// Sorting passes (one per digit).
+    pub passes: u32,
+    /// Shuffled revisits of each node's slot set per pass (models multiple
+    /// keys landing per line at separated times).
+    pub revisits: u32,
+    /// User compute cycles per access.
+    pub compute_per_op: u32,
+    /// RNG seed for scatter orders.
+    pub seed: u64,
+}
+
+impl Default for RadixParams {
+    fn default() -> Self {
+        Self {
+            nodes: 8,
+            dest_pages: 512,
+            passes: 4,
+            revisits: 6,
+            compute_per_op: 2,
+            seed: 0x4AD1_0000,
+        }
+    }
+}
+
+impl RadixParams {
+    /// A tiny configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            nodes: 4,
+            dest_pages: 32,
+            passes: 1,
+            revisits: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Paper-like scale (2 M keys -> ~2048 destination pages).
+    pub fn paper() -> Self {
+        Self {
+            dest_pages: 2048,
+            ..Self::default()
+        }
+    }
+
+    /// Build the trace.
+    pub fn build(&self, page_bytes: u64) -> Trace {
+        assert!(self.nodes >= 2);
+        assert!(self.dest_pages as usize >= self.nodes);
+        let mut arena = Arena::new(page_bytes);
+        let src = arena.alloc_partitioned(self.dest_pages * page_bytes, self.nodes);
+        let dst = arena.alloc_partitioned(self.dest_pages * page_bytes, self.nodes);
+        let root = SimRng::seed_from(self.seed);
+
+        let block = 128u64;
+        let total_blocks = dst.bytes / block;
+
+        let mut programs = Vec::with_capacity(self.nodes);
+        for n in 0..self.nodes {
+            let mut rng = root.derive(n as u64);
+            let mut prog = NodeProgram::default();
+            let my_src = src.slab(n, self.nodes, page_bytes);
+
+            // Histogram: sequential read sweep of the local key slab.
+            let mut hist = Segment::new(self.compute_per_op);
+            sweep(&mut hist, my_src.base, my_src.bytes, 32, false);
+            let hi = prog.add_segment(hist);
+
+            // This node's block-disjoint scatter slots (blocks b with
+            // b % nodes == n), grouped by destination page: a bucket's
+            // keys land at consecutive ranks, so one "visit" writes the
+            // node's blocks of one page back-to-back, and successive
+            // visits jump to random pages (no page-level locality — the
+            // paper's radix signature).
+            let mut page_groups: Vec<Vec<u64>> = {
+                let mut groups: std::collections::BTreeMap<u64, Vec<u64>> =
+                    std::collections::BTreeMap::new();
+                for b in 0..total_blocks {
+                    if (b as usize) % self.nodes == n {
+                        let addr = dst.base + b * block;
+                        groups.entry(addr / page_bytes).or_default().push(addr);
+                    }
+                }
+                groups.into_values().collect()
+            };
+
+            let mut permutes = Vec::new();
+            for _pass in 0..self.passes {
+                let mut seg = Segment::new(self.compute_per_op);
+                for rv in 0..self.revisits {
+                    rng.shuffle(&mut page_groups);
+                    let mut k = 0u64;
+                    for group in &page_groups {
+                        for &slot in group {
+                            // Read the key from the local source slab...
+                            let s = my_src.base + ((k * 32) % my_src.bytes);
+                            k += 1;
+                            seg.push(s, false);
+                            // ...and scatter it: write one line of the
+                            // slot, rotating through the block's lines
+                            // per revisit.
+                            let line = (rv as u64 % 4) * 32;
+                            seg.push(slot + line, true);
+                        }
+                    }
+                }
+                permutes.push(prog.add_segment(seg));
+            }
+
+            for &pi in &permutes {
+                prog.schedule.push(ScheduleItem::Run(hi));
+                prog.schedule.push(ScheduleItem::Barrier);
+                prog.schedule.push(ScheduleItem::Run(pi));
+                prog.schedule.push(ScheduleItem::Barrier);
+            }
+            programs.push(prog);
+        }
+
+        let shared_pages = arena.pages();
+        Trace {
+            name: "radix".into(),
+            nodes: self.nodes,
+            shared_pages,
+            first_toucher: arena.into_first_toucher(),
+            programs,
+        }
+    }
+}
+
+/// Convenience: build with default parameters.
+pub fn radix(page_bytes: u64) -> Trace {
+    RadixParams::default().build(page_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::profile;
+
+    #[test]
+    fn builds_valid_trace() {
+        let t = RadixParams::tiny().build(4096);
+        t.validate(4096);
+        assert!(t.total_ops() > 0);
+    }
+
+    #[test]
+    fn every_node_touches_nearly_every_dest_page() {
+        let p = RadixParams::default();
+        let prof = profile(&p.build(4096), 4096);
+        // Destination pages not homed locally are all touched: remote
+        // membership approaches dest_pages * (nodes-1)/nodes plus a slice
+        // of nothing else.
+        let expect = (p.dest_pages as usize) * (p.nodes - 1) / p.nodes;
+        for (n, &r) in prof.remote_pages.iter().enumerate() {
+            assert!(
+                r >= expect - 2,
+                "node {n} touches only {r} remote pages, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_pressure_is_low() {
+        // The global scatter makes the remote working set huge relative
+        // to home pages: radix's ideal pressure is the lowest of the six
+        // applications (paper: ~17%).
+        let prof = profile(&RadixParams::default().build(4096), 4096);
+        assert!(
+            prof.ideal_pressure < 0.25,
+            "ideal pressure {}",
+            prof.ideal_pressure
+        );
+    }
+
+    #[test]
+    fn scatter_slots_are_block_disjoint_across_nodes() {
+        let p = RadixParams::tiny();
+        let t = p.build(4096);
+        let mut seen = std::collections::HashMap::new();
+        for (n, prog) in t.programs.iter().enumerate() {
+            // Segment 1 is the first permute segment.
+            for op in &prog.segments[1].ops {
+                if op.write() && !op.private() {
+                    let b = op.addr() / 128;
+                    if let Some(prev) = seen.insert(b, n) {
+                        assert_eq!(prev, n, "block {b} written by nodes {prev} and {n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_has_no_page_level_locality() {
+        let t = RadixParams::default().build(4096);
+        let seg = &t.programs[0].segments[1];
+        let writes: Vec<u64> = seg
+            .ops
+            .iter()
+            .filter(|o| o.write() && !o.private())
+            .map(|o| o.addr() / 4096)
+            .collect();
+        // Within a visit the node's blocks of one page are written
+        // back-to-back (a bucket's consecutive ranks), but *visits* jump
+        // pages: page transitions must be frequent and non-monotonic.
+        let transitions: Vec<(u64, u64)> = writes
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .map(|w| (w[0], w[1]))
+            .collect();
+        assert!(
+            transitions.len() * 8 >= writes.len(),
+            "too few page jumps: {}/{}",
+            transitions.len(),
+            writes.len()
+        );
+        let ascending = transitions.iter().filter(|(a, b)| b == &(a + 1)).count();
+        assert!(
+            ascending * 4 < transitions.len(),
+            "page order too sequential: {ascending}/{}",
+            transitions.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = RadixParams::tiny().build(4096);
+        let b = RadixParams::tiny().build(4096);
+        assert_eq!(a.programs[0].segments[1].ops, b.programs[0].segments[1].ops);
+    }
+}

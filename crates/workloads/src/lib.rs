@@ -1,0 +1,29 @@
+//! Synthetic workload generators for the AS-COMA simulator.
+//!
+//! The paper evaluates six applications — barnes, em3d, fft, lu, ocean and
+//! radix — through execution-driven simulation of their real binaries.
+//! This crate substitutes *structure-preserving synthetic generators*
+//! (DESIGN.md §2, §7): each produces a [`trace::Trace`] of per-node memory
+//! operations whose page-level locality, sharing and hot-page structure
+//! match what the paper reports for the original, which is what the five
+//! memory architectures differentiate on.
+//!
+//! * [`trace`] — the trace representation and replay iterator.
+//! * [`synth`] — region allocation and access-pattern building blocks.
+//! * [`apps`] — the six generators, each with `tiny()` / default /
+//!   `paper()` size classes.
+//! * [`analyze`] — static profiling (the paper's Table 5 inputs: home
+//!   pages, maximum remote pages, ideal pressure).
+//! * [`stats`] — deeper static characterization (stride/heat/sharing
+//!   distributions).
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod apps;
+pub mod stats;
+pub mod synth;
+pub mod trace;
+
+pub use apps::{App, SizeClass};
+pub use trace::{Op, Trace, TraceRunner};

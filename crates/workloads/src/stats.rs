@@ -1,0 +1,200 @@
+//! Trace statistics: static characterizations of a workload's memory
+//! behavior — read/write mix, stride distribution, page heat, sharing
+//! degree — the quantities that predict how the five architectures will
+//! treat it before any simulation runs.
+
+use crate::trace::{ScheduleItem, Trace};
+use ascoma_sim::hist::Histogram;
+
+/// Static statistics of one trace.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Total dynamic shared-memory operations.
+    pub shared_ops: u64,
+    /// Total dynamic private-memory operations.
+    pub private_ops: u64,
+    /// Dynamic shared writes / shared ops.
+    pub write_fraction: f64,
+    /// Distribution of |addr_i+1 - addr_i| over consecutive shared
+    /// accesses (bytes) — spatial locality at a glance.
+    pub stride: Histogram,
+    /// Dynamic accesses per shared page ("page heat").
+    pub page_heat: Histogram,
+    /// Number of distinct nodes touching each touched page ("sharing
+    /// degree"): 1 = private-ish, nodes = fully shared.
+    pub sharing_degree: Histogram,
+    /// Pages written by 2+ nodes (write-sharing; coherence traffic
+    /// predictor).
+    pub write_shared_pages: u64,
+    /// Barriers per node.
+    pub barriers: u64,
+    /// Lock acquisitions per run (all nodes).
+    pub lock_ops: u64,
+}
+
+/// Compute [`TraceStats`] for a trace.
+pub fn trace_stats(trace: &Trace, page_bytes: u64) -> TraceStats {
+    let pages = trace.shared_pages as usize;
+    let mut heat = vec![0u64; pages];
+    let mut readers_writers: Vec<(u64, u64)> = vec![(0, 0); pages]; // bitmasks
+    let mut stride = Histogram::new();
+    let mut shared_ops = 0u64;
+    let mut private_ops = 0u64;
+    let mut writes = 0u64;
+    let mut lock_ops = 0u64;
+
+    for (n, prog) in trace.programs.iter().enumerate() {
+        let mut mult = vec![0u64; prog.segments.len()];
+        for item in &prog.schedule {
+            match item {
+                ScheduleItem::Run(i) => mult[*i as usize] += 1,
+                ScheduleItem::Lock(_) => lock_ops += 1,
+                _ => {}
+            }
+        }
+        for (seg, &m) in prog.segments.iter().zip(&mult) {
+            if m == 0 {
+                continue;
+            }
+            let mut prev: Option<u64> = None;
+            for op in &seg.ops {
+                if op.private() {
+                    private_ops += m;
+                    continue;
+                }
+                shared_ops += m;
+                let pg = (op.addr() / page_bytes) as usize;
+                heat[pg] += m;
+                if op.write() {
+                    writes += m;
+                    readers_writers[pg].1 |= 1 << n;
+                } else {
+                    readers_writers[pg].0 |= 1 << n;
+                }
+                if let Some(p) = prev {
+                    stride.record(op.addr().abs_diff(p));
+                }
+                prev = Some(op.addr());
+            }
+        }
+    }
+
+    let mut page_heat = Histogram::new();
+    let mut sharing = Histogram::new();
+    let mut write_shared = 0u64;
+    for pg in 0..pages {
+        if heat[pg] > 0 {
+            page_heat.record(heat[pg]);
+            let touchers = (readers_writers[pg].0 | readers_writers[pg].1).count_ones();
+            sharing.record(touchers as u64);
+            if readers_writers[pg].1.count_ones() >= 2 {
+                write_shared += 1;
+            }
+        }
+    }
+
+    TraceStats {
+        shared_ops,
+        private_ops,
+        write_fraction: if shared_ops == 0 {
+            0.0
+        } else {
+            writes as f64 / shared_ops as f64
+        },
+        stride,
+        page_heat,
+        sharing_degree: sharing,
+        write_shared_pages: write_shared,
+        barriers: trace.programs.first().map(|p| p.barrier_count() as u64).unwrap_or(0),
+        lock_ops,
+    }
+}
+
+/// Render the statistics as a compact block.
+pub fn render(name: &str, s: &TraceStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{name}:");
+    let _ = writeln!(
+        out,
+        "  ops: {} shared ({:.1}% writes), {} private; {} barriers/node, {} lock ops",
+        s.shared_ops,
+        s.write_fraction * 100.0,
+        s.private_ops,
+        s.barriers,
+        s.lock_ops
+    );
+    let _ = writeln!(out, "  stride bytes      : {}", s.stride.render());
+    let _ = writeln!(out, "  page heat         : {}", s.page_heat.render());
+    let _ = writeln!(out, "  sharing degree    : {}", s.sharing_degree.render());
+    let _ = writeln!(out, "  write-shared pages: {}", s.write_shared_pages);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{micro, App, SizeClass};
+
+    #[test]
+    fn counts_are_consistent_with_trace_totals() {
+        for app in App::ALL {
+            let t = app.build(SizeClass::Tiny, 4096);
+            let s = trace_stats(&t, 4096);
+            assert_eq!(
+                s.shared_ops + s.private_ops,
+                t.total_ops(),
+                "{}",
+                app.name()
+            );
+            assert!((0.0..=1.0).contains(&s.write_fraction));
+        }
+    }
+
+    #[test]
+    fn streaming_has_tiny_strides() {
+        let t = micro::streaming(4, 4, 1, 4096);
+        let s = trace_stats(&t, 4096);
+        // Almost all strides are exactly 32 bytes.
+        let small: u64 = s
+            .stride
+            .buckets()
+            .filter(|((lo, _), _)| *lo <= 32)
+            .map(|(_, c)| c)
+            .sum();
+        assert!(small * 10 >= s.stride.count() * 9);
+    }
+
+    #[test]
+    fn ping_pong_is_write_shared() {
+        let t = micro::ping_pong(4, 10, 4096);
+        let s = trace_stats(&t, 4096);
+        assert_eq!(s.write_shared_pages, 1);
+        assert!(s.write_fraction > 0.4);
+    }
+
+    #[test]
+    fn read_only_table_is_read_shared_not_write_shared() {
+        let t = micro::read_only_table(4, 8, 2, 4096);
+        let s = trace_stats(&t, 4096);
+        assert_eq!(s.write_shared_pages, 0);
+        // Table pages are touched by 3 readers.
+        assert!(s.sharing_degree.max() >= 3);
+    }
+
+    #[test]
+    fn barnes_counts_its_locks() {
+        let t = App::Barnes.build(SizeClass::Tiny, 4096);
+        let s = trace_stats(&t, 4096);
+        assert!(s.lock_ops > 0, "barnes tree build uses locks");
+    }
+
+    #[test]
+    fn render_mentions_sections() {
+        let t = micro::uniform(4, 2, 100, 0.3, 1, 1, 4096);
+        let s = trace_stats(&t, 4096);
+        let r = render("uniform", &s);
+        assert!(r.contains("page heat"));
+        assert!(r.contains("sharing degree"));
+    }
+}

@@ -1,0 +1,50 @@
+//! The read-only replication extension (paper §2.2): a lookup table that
+//! is never written gets replicated into every reader's local memory;
+//! the moment somebody writes it, every replica collapses back to a
+//! plain CC-NUMA mapping.
+//!
+//! ```text
+//! cargo run --release --example readonly_replication
+//! ```
+
+use ascoma::machine::simulate;
+use ascoma::{report, Arch, PolicyParams, SimConfig};
+use ascoma_workloads::apps::micro;
+
+fn main() {
+    let base = SimConfig::at_pressure(0.3);
+    let replicated = SimConfig {
+        policy: PolicyParams {
+            replicate_read_only: true,
+            ..PolicyParams::default()
+        },
+        ..base
+    };
+
+    let table = micro::read_only_table(8, 32, 8, base.geometry.page_bytes());
+    println!(
+        "lookup table: {} pages on node 0, scanned 8x by 7 readers\n",
+        32
+    );
+
+    let off = simulate(&table, Arch::CcNuma, &base);
+    let on = simulate(&table, Arch::CcNuma, &replicated);
+    println!("plain CC-NUMA      : {}", report::summary_line(&off));
+    println!("with replication   : {}", report::summary_line(&on));
+    println!(
+        "\n{} replicas formed; every repeat scan was served from local DRAM.",
+        on.kernel.replications
+    );
+    println!(
+        "Speedup: {:.2}x  (remote misses {} -> {})",
+        off.cycles as f64 / on.cycles as f64,
+        off.miss.remote(),
+        on.miss.remote()
+    );
+    println!(
+        "\nThe same flag on the six paper benchmarks changes nothing: every\n\
+         shared page eventually gets written, so replicas collapse — exactly\n\
+         the paper's point that replication only helps read-only pages,\n\
+         which is why the hybrids' coherent page cache is the general answer."
+    );
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate every committed artifact under results/ from scratch.
+# Usage: scripts/regen_results.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+run() { echo ">> $*" >&2; cargo run --release -q -p ascoma-bench --bin "$@"; }
+
+run figures                      > results/figures.txt
+run figures -- --csv             > results/figures.csv
+run figures -- --chart           > results/figures_chart.txt
+run table1 -- --app em3d,radix --pressure 0.1,0.5,0.9 > results/table1.txt
+run table2                       > results/table2.txt
+run table3                       > results/table3.txt
+run table4                       > results/table4.txt
+run table5                       > results/table5.txt
+run table6                       > results/table6.txt
+run inspect                      > results/inspect.txt
+run ablation_alloc               > results/ablation_alloc.txt
+run ablation_backoff             > results/ablation_backoff.txt
+run ablation_rac -- --app fft,em3d > results/ablation_rac.txt
+run ablation_replication         > results/ablation_replication.txt
+run ablation_threshold           > results/ablation_threshold.txt
+run ablation_costs               > results/ablation_costs.txt
+run ablation_interconnect        > results/ablation_interconnect.txt
+run ablation_associativity       > results/ablation_associativity.txt
+run scaling                      > results/scaling.txt
+run validate_claims              > results/validate_claims.txt
+echo "done; results/ refreshed" >&2

@@ -1,0 +1,55 @@
+//! Reproducibility: identical configuration must give bit-identical
+//! results, and workload construction must be stable across builds.
+
+use ascoma::machine::simulate;
+use ascoma::{Arch, SimConfig};
+use ascoma_workloads::{App, SizeClass};
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    for app in [App::Em3d, App::Radix] {
+        let trace = app.build(SizeClass::Tiny, 4096);
+        for arch in Arch::ALL {
+            let cfg = SimConfig::at_pressure(0.7);
+            let a = simulate(&trace, arch, &cfg);
+            let b = simulate(&trace, arch, &cfg);
+            assert_eq!(a.cycles, b.cycles, "{} {}", app.name(), arch.name());
+            assert_eq!(a.exec, b.exec);
+            assert_eq!(a.miss, b.miss);
+            assert_eq!(a.kernel, b.kernel);
+            assert_eq!(a.final_thresholds, b.final_thresholds);
+        }
+    }
+}
+
+#[test]
+fn rebuilt_traces_are_identical() {
+    for app in App::ALL {
+        let a = app.build(SizeClass::Tiny, 4096);
+        let b = app.build(SizeClass::Tiny, 4096);
+        assert_eq!(a.total_ops(), b.total_ops(), "{}", app.name());
+        assert_eq!(a.first_toucher, b.first_toucher);
+        for (pa, pb) in a.programs.iter().zip(&b.programs) {
+            assert_eq!(pa.schedule, pb.schedule);
+            for (sa, sb) in pa.segments.iter().zip(&pb.segments) {
+                assert_eq!(sa.ops, sb.ops);
+            }
+        }
+    }
+}
+
+#[test]
+fn different_architectures_share_the_same_trace_view() {
+    // Running one architecture must not perturb a subsequent run on the
+    // same (immutable) trace.
+    let trace = App::Lu.build(SizeClass::Tiny, 4096);
+    let cfg = SimConfig::at_pressure(0.5);
+    let first = simulate(&trace, Arch::AsComa, &cfg);
+    let _others: Vec<_> = Arch::ALL
+        .iter()
+        .map(|a| simulate(&trace, *a, &cfg))
+        .collect();
+    let again = simulate(&trace, Arch::AsComa, &cfg);
+    assert_eq!(first.cycles, again.cycles);
+    assert_eq!(first.miss, again.miss);
+}

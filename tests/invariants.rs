@@ -1,0 +1,69 @@
+//! Machine-wide invariant checking: run every (app, arch, pressure) cell
+//! with `check_invariants` enabled, which asserts at every barrier and at
+//! end of run that
+//!
+//! 1. every valid S-COMA block is tracked in its home copyset,
+//! 2. every dirty owner is a sharer,
+//! 3. no node leaks page-cache frames through the fault / relocation /
+//!    daemon / eviction paths, and
+//! 4. read-only replicas only exist on never-written pages.
+
+use ascoma::machine::simulate;
+use ascoma::{Arch, PolicyParams, SimConfig};
+use ascoma_workloads::apps::micro;
+use ascoma_workloads::{App, SizeClass};
+
+fn checked(pressure: f64) -> SimConfig {
+    SimConfig {
+        check_invariants: true,
+        ..SimConfig::at_pressure(pressure)
+    }
+}
+
+#[test]
+fn invariants_hold_across_the_matrix() {
+    for app in App::ALL {
+        let trace = app.build(SizeClass::Tiny, 4096);
+        for arch in Arch::ALL {
+            for p in [0.1, 0.5, 0.9] {
+                let r = simulate(&trace, arch, &checked(p));
+                assert!(r.cycles > 0, "{} {}", app.name(), arch.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_under_heavy_thrash() {
+    // Pure S-COMA at 95% pressure churns pages constantly: the harshest
+    // test of frame accounting and flush/copyset consistency.
+    let trace = App::Radix.build(SizeClass::Tiny, 4096);
+    let r = simulate(&trace, Arch::Scoma, &checked(0.95));
+    assert!(r.kernel.downgrades > 0, "must actually have churned");
+}
+
+#[test]
+fn invariants_hold_with_replication() {
+    let cfg = SimConfig {
+        check_invariants: true,
+        policy: PolicyParams {
+            replicate_read_only: true,
+            ..PolicyParams::default()
+        },
+        ..SimConfig::at_pressure(0.3)
+    };
+    let t = micro::read_only_table(4, 8, 4, 4096);
+    let r = simulate(&t, Arch::CcNuma, &cfg);
+    assert!(r.kernel.replications > 0);
+    // And under write-heavy sharing (constant collapses + invalidations).
+    let t2 = micro::uniform(4, 4, 2000, 0.5, 2, 5, 4096);
+    let _ = simulate(&t2, Arch::CcNuma, &cfg);
+}
+
+#[test]
+fn invariants_hold_with_locks_and_coherence_traffic() {
+    let t = micro::ping_pong(4, 300, 4096);
+    for arch in Arch::ALL {
+        let _ = simulate(&t, arch, &checked(0.5));
+    }
+}

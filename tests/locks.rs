@@ -1,0 +1,162 @@
+//! Lock synchronization semantics: mutual exclusion, FIFO hand-off,
+//! SYNC-bucket accounting, and trace-validation of lock pairing.
+
+use ascoma::machine::simulate;
+use ascoma::{Arch, SimConfig};
+use ascoma_sim::NodeId;
+use ascoma_workloads::trace::{NodeProgram, ScheduleItem, Segment, Trace};
+
+/// `nodes` nodes each: Lock(0), `work` compute, Unlock(0), repeated
+/// `rounds` times.
+fn contended(nodes: usize, work: u64, rounds: u32) -> Trace {
+    let programs = (0..nodes)
+        .map(|_| {
+            let mut p = NodeProgram::default();
+            for _ in 0..rounds {
+                p.schedule.push(ScheduleItem::Lock(0));
+                p.schedule.push(ScheduleItem::Compute(work));
+                p.schedule.push(ScheduleItem::Unlock(0));
+            }
+            p
+        })
+        .collect();
+    Trace {
+        name: "locks".into(),
+        nodes,
+        shared_pages: nodes as u64,
+        first_toucher: (0..nodes).map(|n| NodeId(n as u16)).collect(),
+        programs,
+    }
+}
+
+#[test]
+fn critical_sections_serialize() {
+    let nodes = 4;
+    let work = 10_000u64;
+    let rounds = 3;
+    let t = contended(nodes, work, rounds);
+    t.validate(4096);
+    let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+    // All critical sections must serialize: total time is at least the
+    // sum of every node's critical work.
+    let serial_floor = work * nodes as u64 * rounds as u64;
+    assert!(
+        r.cycles >= serial_floor,
+        "cycles {} below the serialization floor {serial_floor}",
+        r.cycles
+    );
+    // Contention shows up as SYNC time and in the contended counter.
+    assert!(r.exec.sync > 0);
+    assert!(r.kernel.lock_contended > 0);
+    assert_eq!(
+        r.kernel.lock_acquires,
+        (nodes as u32 * rounds) as u64,
+        "every Lock() is one acquire"
+    );
+}
+
+#[test]
+fn uncontended_locks_are_cheap() {
+    // Each node uses its own lock: no one ever waits.
+    let nodes = 4;
+    let programs = (0..nodes)
+        .map(|n| {
+            let mut p = NodeProgram::default();
+            for _ in 0..5 {
+                p.schedule.push(ScheduleItem::Lock(n as u32));
+                p.schedule.push(ScheduleItem::Compute(100));
+                p.schedule.push(ScheduleItem::Unlock(n as u32));
+            }
+            p
+        })
+        .collect();
+    let t = Trace {
+        name: "locks-private".into(),
+        nodes,
+        shared_pages: nodes as u64,
+        first_toucher: (0..nodes).map(|n| NodeId(n as u16)).collect(),
+        programs,
+    };
+    let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+    assert_eq!(r.kernel.lock_contended, 0);
+    assert_eq!(r.kernel.lock_acquires, 20);
+    // SYNC contains only the fixed acquire/release costs, no waiting:
+    // every node's sync equals every other node's.
+    let syncs: Vec<u64> = r.exec_per_node.iter().map(|e| e.sync).collect();
+    assert!(syncs.windows(2).all(|w| w[0] == w[1]), "{syncs:?}");
+}
+
+#[test]
+fn lock_wait_lands_in_sync_bucket() {
+    let t = contended(2, 50_000, 1);
+    let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+    // The second node waited ~the first node's critical section.
+    let max_sync = r.exec_per_node.iter().map(|e| e.sync).max().unwrap();
+    assert!(
+        max_sync >= 45_000,
+        "waiter's SYNC {max_sync} should cover the holder's critical section"
+    );
+}
+
+#[test]
+fn locks_compose_with_barriers_and_memory() {
+    let nodes = 3;
+    let programs = (0..nodes)
+        .map(|_| {
+            let mut p = NodeProgram::default();
+            let mut seg = Segment::new(2);
+            seg.push(0, true); // shared write inside the critical section
+            let i = p.add_segment(seg);
+            for _ in 0..4 {
+                p.schedule.push(ScheduleItem::Lock(7));
+                p.schedule.push(ScheduleItem::Run(i));
+                p.schedule.push(ScheduleItem::Unlock(7));
+                p.schedule.push(ScheduleItem::Barrier);
+            }
+            p
+        })
+        .collect();
+    let t = Trace {
+        name: "locks-barriers".into(),
+        nodes,
+        shared_pages: 1,
+        first_toucher: vec![NodeId(0)],
+        programs,
+    };
+    t.validate(4096);
+    for arch in Arch::ALL {
+        let r = simulate(&t, arch, &SimConfig::default());
+        assert!(r.cycles > 0, "{}", arch.name());
+        assert_eq!(r.kernel.lock_acquires, 12);
+    }
+}
+
+#[test]
+#[should_panic(expected = "misused")]
+fn validation_rejects_leaked_locks() {
+    let mut p = NodeProgram::default();
+    p.schedule.push(ScheduleItem::Lock(0));
+    let t = Trace {
+        name: "bad".into(),
+        nodes: 1,
+        shared_pages: 1,
+        first_toucher: vec![NodeId(0)],
+        programs: vec![p],
+    };
+    t.validate(4096);
+}
+
+#[test]
+#[should_panic(expected = "misused")]
+fn validation_rejects_unpaired_unlock() {
+    let mut p = NodeProgram::default();
+    p.schedule.push(ScheduleItem::Unlock(3));
+    let t = Trace {
+        name: "bad".into(),
+        nodes: 1,
+        shared_pages: 1,
+        first_toucher: vec![NodeId(0)],
+        programs: vec![p],
+    };
+    t.validate(4096);
+}

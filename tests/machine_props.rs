@@ -1,0 +1,157 @@
+//! Property-based tests: randomized workloads through the full machine,
+//! asserting the invariants that must hold for *any* program — accounting
+//! consistency, policy-capability restrictions, determinism, and the
+//! coherence-state/cache-residency correspondence that miss
+//! classification relies on.
+
+use ascoma::machine::simulate;
+use ascoma::{Arch, SimConfig};
+use ascoma_sim::NodeId;
+use ascoma_workloads::trace::{NodeProgram, ScheduleItem, Segment, Trace};
+use proptest::prelude::*;
+
+/// A randomized small workload: `nodes` nodes over `pages` shared pages,
+/// each node with one segment of random ops replayed `iters` times with
+/// barriers between replays.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (2usize..=4, 2u64..=12, 1u32..=3).prop_flat_map(|(nodes, pages, iters)| {
+        let ops = proptest::collection::vec(
+            (0u64..pages * 4096, any::<bool>(), proptest::bool::weighted(0.2)),
+            1..120,
+        );
+        proptest::collection::vec(ops, nodes).prop_map(move |per_node| {
+            let programs = per_node
+                .into_iter()
+                .map(|ops| {
+                    let mut prog = NodeProgram::default();
+                    let mut seg = Segment::new(2);
+                    for (addr, write, private) in ops {
+                        if private {
+                            seg.push_private(addr % 8192, write);
+                        } else {
+                            seg.push(addr, write);
+                        }
+                    }
+                    let i = prog.add_segment(seg);
+                    for _ in 0..iters {
+                        prog.schedule.push(ScheduleItem::Run(i));
+                        prog.schedule.push(ScheduleItem::Barrier);
+                    }
+                    prog
+                })
+                .collect();
+            Trace {
+                name: "prop".into(),
+                nodes,
+                shared_pages: pages,
+                first_toucher: (0..pages)
+                    .map(|p| NodeId((p % nodes as u64) as u16))
+                    .collect(),
+                programs,
+            }
+        })
+    })
+}
+
+fn arb_arch() -> impl Strategy<Value = Arch> {
+    prop_oneof![
+        Just(Arch::CcNuma),
+        Just(Arch::Scoma),
+        Just(Arch::RNuma),
+        Just(Arch::VcNuma),
+        Just(Arch::AsComa),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every random workload completes on every architecture with
+    /// self-consistent accounting.
+    #[test]
+    fn accounting_is_consistent(trace in arb_trace(), arch in arb_arch(),
+                                pressure in 0.1f64..=1.0) {
+        trace.validate(4096);
+        let r = simulate(&trace, arch, &SimConfig::at_pressure(pressure));
+        // Buckets sum to each node's executed cycles.
+        let sum: u64 = r.exec_per_node.iter().map(|e| e.total()).sum();
+        prop_assert_eq!(sum, r.exec.total());
+        let max = r.exec_per_node.iter().map(|e| e.total()).max().unwrap();
+        prop_assert_eq!(r.cycles, max);
+        // Miss classes are disjoint and bounded by shared accesses.
+        let shared: u64 = trace.programs.iter().map(|p| {
+            p.schedule.iter().filter_map(|s| match s {
+                ScheduleItem::Run(i) => Some(
+                    p.segments[*i as usize].ops.iter().filter(|o| !o.private()).count() as u64
+                ),
+                _ => None,
+            }).sum::<u64>()
+        }).sum();
+        prop_assert!(r.miss.total() <= shared);
+        prop_assert!(r.relocated_page_node_pairs <= r.remote_page_node_pairs);
+    }
+
+    /// Determinism for arbitrary inputs.
+    #[test]
+    fn runs_are_deterministic(trace in arb_trace(), arch in arb_arch()) {
+        let cfg = SimConfig::at_pressure(0.5);
+        let a = simulate(&trace, arch, &cfg);
+        let b = simulate(&trace, arch, &cfg);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.miss, b.miss);
+        prop_assert_eq!(a.exec, b.exec);
+    }
+
+    /// Non-relocating architectures never pay relocation costs; CC-NUMA
+    /// never uses the page cache and never induces cold misses.  The
+    /// S-COMA RAC-bypass invariant holds whenever the page cache has
+    /// frames at all (at ~100% pressure S-COMA's documented fallback is
+    /// to leave pages in CC-NUMA mode, which may use the RAC).
+    #[test]
+    fn policy_capabilities_respected(trace in arb_trace(), pressure in 0.1f64..=1.0) {
+        let cfg = SimConfig::at_pressure(pressure);
+        let cc = simulate(&trace, Arch::CcNuma, &cfg);
+        prop_assert_eq!(cc.kernel.upgrades, 0);
+        prop_assert_eq!(cc.miss.scoma, 0);
+        prop_assert_eq!(cc.miss.cold_induced, 0);
+        prop_assert_eq!(cc.exec.k_overhd, 0);
+        let sc = simulate(&trace, Arch::Scoma, &cfg);
+        prop_assert_eq!(sc.kernel.upgrades, 0);
+        if pressure <= 0.5 {
+            prop_assert_eq!(sc.miss.rac, 0);
+        }
+    }
+
+    /// Pure S-COMA at zero page-cache capacity (100% pressure) falls back
+    /// gracefully: the run completes and remote data is simply never
+    /// cached locally.
+    #[test]
+    fn scoma_survives_total_pressure(trace in arb_trace()) {
+        let r = simulate(&trace, Arch::Scoma, &SimConfig::at_pressure(1.0));
+        prop_assert!(r.cycles > 0);
+        prop_assert_eq!(r.kernel.upgrades, 0);
+    }
+
+    /// The first access of each node to each shared page faults exactly
+    /// once: page-fault count equals touched (page, node) pairs.
+    #[test]
+    fn one_fault_per_touched_page(trace in arb_trace(), arch in arb_arch()) {
+        let r = simulate(&trace, arch, &SimConfig::at_pressure(0.5));
+        let mut touched = 0u64;
+        for (n, prog) in trace.programs.iter().enumerate() {
+            let mut seen = vec![false; trace.shared_pages as usize];
+            for item in &prog.schedule {
+                if let ScheduleItem::Run(i) = item {
+                    for op in &prog.segments[*i as usize].ops {
+                        if !op.private() {
+                            seen[(op.addr() / 4096) as usize] = true;
+                        }
+                    }
+                }
+            }
+            let _ = n;
+            touched += seen.iter().filter(|&&t| t).count() as u64;
+        }
+        prop_assert_eq!(r.kernel.page_faults, touched);
+    }
+}

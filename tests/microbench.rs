@@ -1,0 +1,92 @@
+//! Machine behavior on the microbenchmark kernels: each one isolates a
+//! distinct protocol/policy path.
+
+use ascoma::machine::simulate;
+use ascoma::{Arch, SimConfig};
+use ascoma_workloads::apps::micro;
+
+#[test]
+fn ping_pong_forces_three_hop_forwards() {
+    let t = micro::ping_pong(4, 200, 4096);
+    let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+    // Alternating writers leave the block dirty at the other node: the
+    // home must forward, and each write invalidates the previous owner.
+    assert!(
+        r.proto.fetch_3hop > 50,
+        "expected dirty forwards, got {:?}",
+        r.proto
+    );
+    assert!(r.proto.invalidations > 50);
+    assert!(r.miss.coherence > 50, "{:?}", r.miss);
+}
+
+#[test]
+fn streaming_is_rac_dominated_on_ccnuma() {
+    let t = micro::streaming(4, 4, 3, 4096);
+    let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+    // Sequential 32-byte reads within 128-byte blocks: three of every
+    // four remote line misses hit the RAC.
+    assert!(
+        r.miss.rac > 2 * r.miss.remote(),
+        "RAC hits {} vs remote {}",
+        r.miss.rac,
+        r.miss.remote()
+    );
+}
+
+#[test]
+fn streaming_rac_beats_no_rac() {
+    let t = micro::streaming(4, 4, 3, 4096);
+    let with = simulate(&t, Arch::CcNuma, &SimConfig::default());
+    let without = simulate(
+        &t,
+        Arch::CcNuma,
+        &SimConfig {
+            rac_bytes: 0,
+            ..SimConfig::default()
+        },
+    );
+    assert!(
+        without.cycles as f64 > with.cycles as f64 * 1.3,
+        "removing the RAC should hurt streaming: {} vs {}",
+        without.cycles,
+        with.cycles
+    );
+}
+
+#[test]
+fn hotspot_relocations_track_the_hot_set() {
+    // 2 hot pages, 90% of traffic: R-NUMA should relocate a small number
+    // of pages (the hot ones), not the whole cold region.
+    let t = micro::hotspot(4, 16, 2, 0.9, 4000, 6, 11, 4096);
+    let r = simulate(&t, Arch::RNuma, &SimConfig::at_pressure(0.3));
+    assert!(r.kernel.upgrades > 0, "hot pages must cross the threshold");
+    // Upgraded distinct pages per node <= hot set + small slack.
+    assert!(
+        r.relocated_page_node_pairs <= 4 * (2 + 3),
+        "relocated {} page-node pairs for a 2-page hot set",
+        r.relocated_page_node_pairs
+    );
+}
+
+#[test]
+fn uniform_writes_generate_invalidations() {
+    let t = micro::uniform(4, 4, 3000, 0.5, 2, 17, 4096);
+    let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+    assert!(r.proto.invalidations > 0);
+    assert!(r.proto.upgrades > 0, "write hits on shared lines upgrade");
+}
+
+#[test]
+fn read_only_table_bottlenecks_the_home_node() {
+    let t = micro::read_only_table(8, 16, 6, 4096);
+    let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
+    // Every reader's misses are remote to node 0: no local satisfaction
+    // beyond node 0's own traffic.
+    assert!(r.miss.remote() > 0);
+    assert_eq!(r.miss.scoma, 0);
+    // S-COMA localizes the table after the first scan.
+    let s = simulate(&t, Arch::Scoma, &SimConfig::at_pressure(0.2));
+    assert!(s.miss.scoma > s.miss.remote());
+    assert!(s.cycles < r.cycles);
+}

@@ -1,0 +1,132 @@
+//! AS-COMA's recovery path: "Should the number of hot pages drop, e.g.,
+//! because of a phase change in the program that causes a number of hot
+//! pages to grow cold, the pageout daemon will detect it by detecting an
+//! increase in the number of cold pages.  At this point, it can reduce
+//! the refetch threshold."
+//!
+//! The workload has two phases over disjoint remote regions: phase 1's
+//! hot set saturates the page cache and triggers back-off; in phase 2 the
+//! old set goes cold, the daemon reclaims it, and thresholds recover.
+
+use ascoma::machine::simulate;
+use ascoma::{Arch, SimConfig};
+use ascoma_sim::rng::SimRng;
+use ascoma_sim::NodeId;
+use ascoma_workloads::trace::{NodeProgram, ScheduleItem, Segment, Trace};
+
+/// `readers` nodes scatter-read region A for `iters` iterations, then
+/// region B.  Both regions are homed on node 0 (with ballast for the
+/// cap); each region is `pages` pages.
+fn two_phase(readers: usize, pages: u64, iters: u32, seed: u64) -> Trace {
+    let nodes = readers + 1;
+    let region_bytes = pages * 4096;
+    let root = SimRng::seed_from(seed);
+    let mut programs = Vec::new();
+    for n in 0..nodes {
+        let mut p = NodeProgram::default();
+        if n == 0 {
+            // Home node: idle compute so barriers line up.
+            for _ in 0..2 * iters {
+                p.schedule.push(ScheduleItem::Compute(1000));
+                p.schedule.push(ScheduleItem::Barrier);
+            }
+        } else {
+            let mut rng = root.derive(n as u64);
+            let mut mk = |base: u64| {
+                let mut seg = Segment::new(2);
+                // Scattered block-grained reads with revisits: enough
+                // refetches per page to cross the relocation threshold.
+                for _ in 0..pages * 128 {
+                    let block = rng.below(region_bytes / 128);
+                    seg.push(base + block * 128, false);
+                }
+                seg
+            };
+            let a = p.add_segment(mk(0));
+            let b = p.add_segment(mk(region_bytes));
+            for _ in 0..iters {
+                p.schedule.push(ScheduleItem::Run(a));
+                p.schedule.push(ScheduleItem::Barrier);
+            }
+            for _ in 0..iters {
+                p.schedule.push(ScheduleItem::Run(b));
+                p.schedule.push(ScheduleItem::Barrier);
+            }
+        }
+        programs.push(p);
+    }
+    // Regions A and B homed at node 0; ballast spreads the cap.
+    let mut first_toucher = vec![NodeId(0); 2 * pages as usize];
+    for n in 0..nodes {
+        first_toucher.extend(vec![NodeId(n as u16); 2 * pages as usize]);
+    }
+    Trace {
+        name: "two-phase".into(),
+        nodes,
+        shared_pages: first_toucher.len() as u64,
+        first_toucher,
+        programs,
+    }
+}
+
+#[test]
+fn phase_change_triggers_backoff_then_recovery() {
+    let t = two_phase(3, 24, 10, 0x9A5E);
+    t.validate(4096);
+    // Pressure such that one region's worth of remote pages fits per
+    // reader but not both phases' combined churn comfortably; a short
+    // daemon period so the test's compressed timescale still gives the
+    // daemon several windows per phase.
+    let mut cfg = SimConfig {
+        check_invariants: true,
+        ..SimConfig::at_pressure(0.75)
+    };
+    cfg.kernel.daemon_period = 50_000;
+    let r = simulate(&t, Arch::AsComa, &cfg);
+    assert!(
+        r.kernel.daemon_failures > 0,
+        "phase 1 must saturate the page cache and fail the daemon: {:?}",
+        r.kernel
+    );
+    assert!(
+        r.kernel.threshold_raises > 0,
+        "back-off must engage: {:?}",
+        r.kernel
+    );
+    assert!(
+        r.kernel.threshold_drops > 0,
+        "phase 2 must let the daemon reclaim phase-1 pages and recover \
+         the threshold: {:?}",
+        r.kernel
+    );
+    assert!(
+        r.kernel.pages_reclaimed > 0,
+        "cold phase-1 pages must actually be reclaimed"
+    );
+}
+
+#[test]
+fn single_phase_never_recovers() {
+    // Control: with one phase there is no cold set to find, so drops
+    // should stay at zero while raises accumulate.
+    let t = {
+        let mut t = two_phase(3, 24, 10, 0x9A5E);
+        // Re-run phase A in place of phase B.
+        for p in &mut t.programs[1..] {
+            for item in p.schedule.iter_mut() {
+                if let ScheduleItem::Run(1) = item {
+                    *item = ScheduleItem::Run(0);
+                }
+            }
+        }
+        t
+    };
+    let mut cfg = SimConfig::at_pressure(0.75);
+    cfg.kernel.daemon_period = 50_000;
+    let r = simulate(&t, Arch::AsComa, &cfg);
+    assert!(
+        r.kernel.threshold_drops <= r.kernel.threshold_raises,
+        "{:?}",
+        r.kernel
+    );
+}

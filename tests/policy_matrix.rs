@@ -1,0 +1,132 @@
+//! Cross-product smoke matrix: every (application, architecture,
+//! pressure) cell completes, produces self-consistent statistics, and
+//! respects architecture-level invariants.
+
+use ascoma::machine::simulate;
+use ascoma::{Arch, RunResult, SimConfig};
+use ascoma_workloads::{App, SizeClass};
+
+fn consistent(r: &RunResult, nodes: usize) {
+    assert!(r.cycles > 0);
+    assert_eq!(r.exec_per_node.len(), nodes);
+    // The machine-wide breakdown is the sum of the per-node ones.
+    let sum: u64 = r.exec_per_node.iter().map(|e| e.total()).sum();
+    assert_eq!(sum, r.exec.total());
+    // Execution time is the slowest node's bucket total.
+    let max = r.exec_per_node.iter().map(|e| e.total()).max().unwrap();
+    assert_eq!(r.cycles, max);
+    assert!(r.relocated_page_node_pairs <= r.remote_page_node_pairs);
+    // Paper invariant: only relocating architectures upgrade pages.
+    if !r.arch.relocates() {
+        assert_eq!(r.kernel.relocation_interrupts, 0, "{:?}", r.arch);
+    }
+    if r.arch == Arch::CcNuma {
+        assert_eq!(r.kernel.upgrades + r.kernel.downgrades, 0);
+        assert_eq!(r.miss.scoma, 0);
+        assert_eq!(r.miss.cold_induced, 0, "CC-NUMA never flushes pages");
+    }
+}
+
+#[test]
+fn every_cell_completes_consistently() {
+    for app in App::ALL {
+        let trace = app.build(SizeClass::Tiny, 4096);
+        for arch in Arch::ALL {
+            for p in [0.1, 0.5, 0.9] {
+                let r = simulate(&trace, arch, &SimConfig::at_pressure(p));
+                consistent(&r, trace.nodes);
+            }
+        }
+    }
+}
+
+#[test]
+fn ccnuma_is_pressure_independent() {
+    for app in App::ALL {
+        let trace = app.build(SizeClass::Tiny, 4096);
+        let a = simulate(&trace, Arch::CcNuma, &SimConfig::at_pressure(0.1));
+        let b = simulate(&trace, Arch::CcNuma, &SimConfig::at_pressure(0.9));
+        assert_eq!(
+            a.cycles,
+            b.cycles,
+            "{}: CC-NUMA must not depend on memory pressure",
+            app.name()
+        );
+        assert_eq!(a.miss, b.miss);
+    }
+}
+
+#[test]
+fn miss_totals_never_exceed_shared_accesses() {
+    for app in App::ALL {
+        let trace = app.build(SizeClass::Tiny, 4096);
+        let shared_ops: u64 = trace
+            .programs
+            .iter()
+            .map(|p| {
+                p.schedule
+                    .iter()
+                    .filter_map(|s| match s {
+                        ascoma_workloads::trace::ScheduleItem::Run(i) => Some(
+                            p.segments[*i as usize]
+                                .ops
+                                .iter()
+                                .filter(|o| !o.private())
+                                .count() as u64,
+                        ),
+                        _ => None,
+                    })
+                    .sum::<u64>()
+            })
+            .sum();
+        for arch in Arch::ALL {
+            let r = simulate(&trace, arch, &SimConfig::at_pressure(0.5));
+            assert!(
+                r.miss.total() <= shared_ops,
+                "{} {}: misses {} exceed shared accesses {}",
+                app.name(),
+                arch.name(),
+                r.miss.total(),
+                shared_ops
+            );
+        }
+    }
+}
+
+#[test]
+fn scoma_never_uses_rac_and_numa_never_uses_page_cache() {
+    let trace = App::Em3d.build(SizeClass::Tiny, 4096);
+    let s = simulate(&trace, Arch::Scoma, &SimConfig::at_pressure(0.3));
+    assert_eq!(s.miss.rac, 0, "pure S-COMA pages bypass the RAC");
+    let c = simulate(&trace, Arch::CcNuma, &SimConfig::at_pressure(0.3));
+    assert_eq!(c.miss.scoma, 0);
+    assert!(c.miss.rac > 0);
+}
+
+#[test]
+fn thresholds_only_move_for_adaptive_architectures() {
+    let trace = App::Radix.build(SizeClass::Tiny, 4096);
+    for (arch, adaptive) in [
+        (Arch::RNuma, false),
+        (Arch::VcNuma, true),
+        (Arch::AsComa, true),
+    ] {
+        let r = simulate(&trace, arch, &SimConfig::at_pressure(0.9));
+        let moved = r.final_thresholds.iter().any(|&t| t != 64);
+        if !adaptive {
+            assert!(!moved, "{}: fixed threshold moved", arch.name());
+        }
+    }
+}
+
+#[test]
+fn larger_machines_work() {
+    use ascoma_workloads::apps::ocean::OceanParams;
+    let trace = OceanParams {
+        nodes: 16,
+        ..OceanParams::tiny()
+    }
+    .build(4096);
+    let r = simulate(&trace, Arch::AsComa, &SimConfig::at_pressure(0.5));
+    consistent(&r, 16);
+}

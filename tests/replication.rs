@@ -1,0 +1,149 @@
+//! Read-only page replication (the paper's §2.2 CC-NUMA improvement):
+//! never-written remote pages are backed by local frames; the first write
+//! collapses every replica.
+
+use ascoma::machine::simulate;
+use ascoma::{Arch, PolicyParams, SimConfig};
+use ascoma_sim::NodeId;
+use ascoma_workloads::trace::{NodeProgram, ScheduleItem, Segment, Trace};
+
+fn cfg(replicate: bool) -> SimConfig {
+    SimConfig {
+        policy: PolicyParams {
+            replicate_read_only: replicate,
+            ..PolicyParams::default()
+        },
+        ..SimConfig::at_pressure(0.3)
+    }
+}
+
+/// Node 0 owns a lookup table written only during setup; all other nodes
+/// scan it repeatedly.  `late_write` optionally makes node 0 write the
+/// table again mid-run, collapsing the replicas.
+fn table_trace(nodes: usize, table_pages: u64, scans: u32, late_write: bool) -> Trace {
+    let table_bytes = table_pages * 4096;
+    let mut programs = Vec::new();
+    for n in 0..nodes {
+        let mut p = NodeProgram::default();
+        if n == 0 {
+            // The table's contents pre-exist (first-touch homes it here);
+            // the owner does unrelated local work while readers scan.
+            let mut local = Segment::new(2);
+            local.push_private(0, true);
+            let i = p.add_segment(local);
+            p.schedule.push(ScheduleItem::Run(i));
+            p.schedule.push(ScheduleItem::Barrier);
+            if late_write {
+                // Touch one line of each table page mid-run.
+                let mut w = Segment::new(2);
+                for pg in 0..table_pages {
+                    w.push(pg * 4096, true);
+                }
+                let wi = p.add_segment(w);
+                p.schedule.push(ScheduleItem::Compute(100_000));
+                p.schedule.push(ScheduleItem::Run(wi));
+            }
+            p.schedule.push(ScheduleItem::Barrier);
+        } else {
+            // Scattered lookups: one line per DSM block, so the RAC's
+            // sequential-streak advantage does not apply and locality
+            // must come from page-grained replication.
+            let mut scan = Segment::new(2);
+            let mut a = 0;
+            while a < table_bytes {
+                scan.push(a, false);
+                a += 128;
+            }
+            let i = p.add_segment(scan);
+            p.schedule.push(ScheduleItem::Barrier);
+            for _ in 0..scans {
+                p.schedule.push(ScheduleItem::Run(i));
+            }
+            p.schedule.push(ScheduleItem::Barrier);
+        }
+        programs.push(p);
+    }
+    // Home everything on node 0 (the writer), with ballast pages for the
+    // first-touch cap.
+    let mut first_toucher = vec![NodeId(0); table_pages as usize];
+    for n in 0..nodes {
+        for _ in 0..table_pages {
+            first_toucher.push(NodeId(n as u16));
+        }
+    }
+    Trace {
+        name: "lookup-table".into(),
+        nodes,
+        shared_pages: first_toucher.len() as u64,
+        first_toucher,
+        programs,
+    }
+}
+
+#[test]
+fn replication_localizes_read_only_scans() {
+    let t = table_trace(4, 8, 6, false);
+    t.validate(4096);
+    let off = simulate(&t, Arch::CcNuma, &cfg(false));
+    let on = simulate(&t, Arch::CcNuma, &cfg(true));
+    assert!(on.kernel.replications > 0, "replicas must be created");
+    assert!(
+        on.miss.scoma > 0,
+        "replica hits must be served from local frames"
+    );
+    assert!(
+        on.cycles < off.cycles,
+        "replication must speed up read-only scans: {} !< {}",
+        on.cycles,
+        off.cycles
+    );
+    assert!(
+        on.miss.remote() < off.miss.remote() / 2,
+        "remote misses must drop substantially: {} vs {}",
+        on.miss.remote(),
+        off.miss.remote()
+    );
+}
+
+#[test]
+fn first_write_collapses_replicas() {
+    let t = table_trace(4, 8, 4, true);
+    let on = simulate(&t, Arch::CcNuma, &cfg(true));
+    assert!(on.kernel.replications > 0, "replicas form before the write");
+    assert!(
+        on.kernel.replica_collapses > 0,
+        "the mid-run write must collapse replicas: {:?}",
+        on.kernel
+    );
+}
+
+#[test]
+fn collapse_returns_frames_and_behavior_reverts_to_numa() {
+    let t = table_trace(4, 8, 6, true);
+    let on = simulate(&t, Arch::CcNuma, &cfg(true));
+    let off = simulate(&t, Arch::CcNuma, &cfg(false));
+    // After the collapse the scans go remote again; totals must be closer
+    // to plain CC-NUMA than in the read-only case.
+    assert!(on.miss.remote() > 0);
+    assert!(on.cycles <= off.cycles * 11 / 10, "collapse must not blow up");
+}
+
+#[test]
+fn replication_is_inert_when_disabled() {
+    let t = table_trace(4, 8, 4, false);
+    let r = simulate(&t, Arch::CcNuma, &cfg(false));
+    assert_eq!(r.kernel.replications, 0);
+    assert_eq!(r.kernel.replica_collapses, 0);
+    assert_eq!(r.miss.scoma, 0);
+}
+
+#[test]
+fn replication_only_applies_to_ccnuma() {
+    // The hybrids already have the page cache; the flag must not perturb
+    // AS-COMA (its S-COMA mappings are coherent, not read-only replicas).
+    let t = table_trace(4, 8, 4, false);
+    let a = simulate(&t, Arch::AsComa, &cfg(true));
+    let b = simulate(&t, Arch::AsComa, &cfg(false));
+    assert_eq!(a.kernel.replications, 0);
+    assert_eq!(a.cycles, b.cycles);
+}
