@@ -1,66 +1,49 @@
-//! Criterion benchmarks for the figure-regenerating experiments: one
-//! benchmark per (application, architecture) chart column of Figures 2
-//! and 3, at the 50% pressure midpoint, measuring full-simulation
-//! throughput on the tiny size class.
+//! Benchmarks for the figure-regenerating experiments: one benchmark per
+//! (application, architecture) chart column of Figures 2 and 3, at the
+//! 50% pressure midpoint, measuring full-simulation throughput on the
+//! tiny size class.
+//!
+//! Plain timing harness (no criterion — the build is offline); run with
+//! `cargo bench -p ascoma-bench --bench figures`.
 
 use ascoma::experiments::run_cell;
 use ascoma::{Arch, SimConfig};
+use ascoma_bench::harness::bench;
 use ascoma_workloads::{App, SizeClass};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_figure(c: &mut Criterion, name: &str, apps: &[App]) {
-    let mut g = c.benchmark_group(name);
-    g.sample_size(10);
+fn bench_figure(name: &str, apps: &[App]) {
     let cfg = SimConfig::default();
     for app in apps {
         for arch in [Arch::CcNuma, Arch::Scoma, Arch::AsComa] {
-            g.bench_function(format!("{}/{}", app.name(), arch.name()), |b| {
-                b.iter(|| {
-                    black_box(run_cell(
-                        *app,
-                        SizeClass::Tiny,
-                        arch,
-                        0.5,
-                        black_box(&cfg),
-                    ))
-                })
-            });
+            bench(
+                &format!("{name}/{}/{}", app.name(), arch.name()),
+                5,
+                2,
+                || black_box(run_cell(*app, SizeClass::Tiny, arch, 0.5, black_box(&cfg))),
+            );
         }
     }
-    g.finish();
 }
 
-/// Figure 2: barnes, em3d, fft.
-fn bench_figure2(c: &mut Criterion) {
-    bench_figure(c, "figure2", &[App::Barnes, App::Em3d, App::Fft]);
-}
+fn main() {
+    // Figure 2: barnes, em3d, fft.
+    bench_figure("figure2", &[App::Barnes, App::Em3d, App::Fft]);
+    // Figure 3: lu, ocean, radix.
+    bench_figure("figure3", &[App::Lu, App::Ocean, App::Radix]);
 
-/// Figure 3: lu, ocean, radix.
-fn bench_figure3(c: &mut Criterion) {
-    bench_figure(c, "figure3", &[App::Lu, App::Ocean, App::Radix]);
-}
-
-/// Simulator throughput: memory operations per second through the full
-/// access path (the number that bounds how big an input we can afford).
-fn bench_throughput(c: &mut Criterion) {
+    // Simulator throughput: memory operations per second through the full
+    // access path (the number that bounds how big an input we can afford).
     let cfg = SimConfig::default();
     let trace = App::Em3d.build(SizeClass::Tiny, cfg.geometry.page_bytes());
     let ops = trace.total_ops();
-    let mut g = c.benchmark_group("throughput");
-    g.throughput(criterion::Throughput::Elements(ops));
-    g.sample_size(10);
-    g.bench_function("em3d_tiny_ops", |b| {
-        b.iter(|| {
-            black_box(ascoma::machine::simulate(
-                black_box(&trace),
-                Arch::AsComa,
-                &cfg,
-            ))
-        })
+    let m = bench("throughput/em3d_tiny_ops", 5, 2, || {
+        black_box(ascoma::machine::simulate(
+            black_box(&trace),
+            Arch::AsComa,
+            &cfg,
+        ))
     });
-    g.finish();
+    let mops = ops as f64 / m.median_ns * 1e3;
+    println!("throughput/em3d_tiny_ops: {mops:.2} M memory ops/s");
 }
-
-criterion_group!(figures, bench_figure2, bench_figure3, bench_throughput);
-criterion_main!(figures);

@@ -1,0 +1,94 @@
+//! Overhead of the observability layer.
+//!
+//! Three variants of the same em3d/AS-COMA run at 70% pressure:
+//!
+//! * `baseline`       — plain `simulate` (no sink type parameter in play);
+//! * `noop_sink`      — `simulate_with_sink(.., NoopSink)`: emission
+//!   sites compiled away; must be within noise of baseline (<2%);
+//! * `vec_sink`       — full recording, the real cost of tracing.
+//!
+//! The variants are sampled *interleaved* (A, B, C, A, B, C, ...) so that
+//! clock-frequency drift over the bench's lifetime biases all three
+//! equally; sequential blocks were observed to skew later variants by
+//! several percent on boost-clocked hosts.
+//!
+//! Plain timing harness (no criterion — the build is offline); run with
+//! `cargo bench -p ascoma-bench --bench obs_overhead`.
+
+use ascoma::machine::{simulate, simulate_with_sink};
+use ascoma::{Arch, SimConfig};
+use ascoma_obs::{NoopSink, VecSink};
+use ascoma_workloads::{App, SizeClass};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SAMPLES: usize = 9;
+const ITERS: usize = 3;
+
+fn batch_ns(f: &mut dyn FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let trace = App::Em3d.build(SizeClass::Tiny, 4096);
+    let cfg = SimConfig::at_pressure(0.7);
+
+    let mut run_base = || {
+        black_box(simulate(black_box(&trace), Arch::AsComa, black_box(&cfg)));
+    };
+    let mut run_noop = || {
+        black_box(simulate_with_sink(
+            black_box(&trace),
+            Arch::AsComa,
+            black_box(&cfg),
+            NoopSink,
+        ));
+    };
+    let mut run_vec = || {
+        black_box(simulate_with_sink(
+            black_box(&trace),
+            Arch::AsComa,
+            black_box(&cfg),
+            VecSink::new(),
+        ));
+    };
+
+    // Warm-up: one batch of each.
+    run_base();
+    run_noop();
+    run_vec();
+
+    let mut base = Vec::with_capacity(SAMPLES);
+    let mut noop = Vec::with_capacity(SAMPLES);
+    let mut vec = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        base.push(batch_ns(&mut run_base));
+        noop.push(batch_ns(&mut run_noop));
+        vec.push(batch_ns(&mut run_vec));
+    }
+
+    let (base, noop, vec) = (median(base), median(noop), median(vec));
+    println!("obs/baseline  {base:>12.0} ns/iter");
+    println!("obs/noop_sink {noop:>12.0} ns/iter");
+    println!("obs/vec_sink  {vec:>12.0} ns/iter");
+
+    let overhead = noop / base - 1.0;
+    println!("noop-sink overhead vs baseline: {:+.2}%", overhead * 100.0);
+    println!(
+        "vec-sink overhead vs baseline:  {:+.2}%",
+        (vec / base - 1.0) * 100.0
+    );
+    if overhead > 0.02 {
+        println!("WARNING: no-op sink overhead exceeds the 2% budget");
+        std::process::exit(1);
+    }
+}

@@ -1,87 +1,72 @@
-//! Criterion microbenchmarks of the policy-critical machine paths: the
-//! relocation (upgrade) cycle, the pageout daemon under hot and cold
-//! residency, and the directory fetch fast path.  These bound the
-//! simulator-side cost of the mechanisms whose *modeled* cost the paper
-//! studies.
+//! Microbenchmarks of the policy-critical machine paths: the relocation
+//! (upgrade) cycle, the pageout daemon under hot and cold residency, and
+//! the directory fetch fast path.  These bound the simulator-side cost of
+//! the mechanisms whose *modeled* cost the paper studies.
+//!
+//! Plain timing harness (no criterion — the build is offline); run with
+//! `cargo bench -p ascoma-bench --bench policies`.
 
 use ascoma::machine::simulate;
 use ascoma::{Arch, SimConfig};
+use ascoma_bench::harness::bench;
 use ascoma_proto::Directory;
 use ascoma_sim::addr::{BlockId, Geometry, VPage};
 use ascoma_sim::NodeId;
 use ascoma_vm::{PageTable, PageoutDaemon};
 use ascoma_workloads::apps::micro;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-/// Directory fetch throughput (the per-miss protocol bookkeeping).
-fn bench_directory_fetch(c: &mut Criterion) {
-    c.bench_function("policy/directory_fetch", |b| {
+fn main() {
+    // Directory fetch throughput (the per-miss protocol bookkeeping).
+    {
         let geo = Geometry::paper();
         let mut dir = Directory::new(geo, 64, 8);
         let mut i = 0u64;
-        b.iter(|| {
+        bench("policy/directory_fetch", 7, 100_000, move || {
             let node = NodeId((i % 8) as u16);
             let block = BlockId(i % (64 * 32));
             i += 1;
             black_box(dir.fetch(node, block, i % 5 == 0))
-        })
-    });
-}
+        });
+    }
 
-/// Daemon scan over a fully hot residency set (the failure path that
-/// drives AS-COMA's back-off).
-fn bench_daemon_hot_scan(c: &mut Criterion) {
-    c.bench_function("policy/daemon_hot_scan", |b| {
+    // Daemon scan over a fully hot residency set (the failure path that
+    // drives AS-COMA's back-off).
+    {
         let mut pt = PageTable::new(256, 32);
         for p in 0..128u64 {
             pt.map_scoma(VPage(p), p as u32);
         }
         let mut daemon = PageoutDaemon::new(0);
         let mut now = 0;
-        b.iter(|| {
+        bench("policy/daemon_hot_scan", 7, 1_000, move || {
             // Re-touch everything: the daemon must scan and fail.
             for p in 0..128u64 {
                 pt.touch(VPage(p));
             }
             now += 1;
             black_box(daemon.run(now, &mut pt, 16))
-        })
-    });
-}
+        });
+    }
 
-/// Full-machine relocation churn: R-NUMA on a hotspot at high pressure.
-fn bench_relocation_churn(c: &mut Criterion) {
-    let mut g = c.benchmark_group("policy/relocation_churn");
-    g.sample_size(10);
-    let trace = micro::hotspot(4, 8, 4, 0.9, 3000, 4, 9, 4096);
-    let cfg = SimConfig::at_pressure(0.9);
-    g.bench_function("rnuma_hotspot_90", |b| {
-        b.iter(|| black_box(simulate(&trace, Arch::RNuma, &cfg)))
-    });
-    g.bench_function("ascoma_hotspot_90", |b| {
-        b.iter(|| black_box(simulate(&trace, Arch::AsComa, &cfg)))
-    });
-    g.finish();
-}
+    // Full-machine relocation churn: R-NUMA on a hotspot at high pressure.
+    {
+        let trace = micro::hotspot(4, 8, 4, 0.9, 3000, 4, 9, 4096);
+        let cfg = SimConfig::at_pressure(0.9);
+        bench("policy/relocation_churn/rnuma_hotspot_90", 5, 3, || {
+            black_box(simulate(&trace, Arch::RNuma, &cfg))
+        });
+        bench("policy/relocation_churn/ascoma_hotspot_90", 5, 3, || {
+            black_box(simulate(&trace, Arch::AsComa, &cfg))
+        });
+    }
 
-/// Coherence worst case: ping-pong ownership migration.
-fn bench_ping_pong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("policy/ping_pong");
-    g.sample_size(10);
-    let trace = micro::ping_pong(4, 2000, 4096);
-    let cfg = SimConfig::default();
-    g.bench_function("ccnuma", |b| {
-        b.iter(|| black_box(simulate(&trace, Arch::CcNuma, &cfg)))
-    });
-    g.finish();
+    // Coherence worst case: ping-pong ownership migration.
+    {
+        let trace = micro::ping_pong(4, 2000, 4096);
+        let cfg = SimConfig::default();
+        bench("policy/ping_pong/ccnuma", 5, 3, || {
+            black_box(simulate(&trace, Arch::CcNuma, &cfg))
+        });
+    }
 }
-
-criterion_group!(
-    policies,
-    bench_directory_fetch,
-    bench_daemon_hot_scan,
-    bench_relocation_churn,
-    bench_ping_pong
-);
-criterion_main!(policies);

@@ -1,72 +1,53 @@
-//! Criterion benchmarks for the table-regenerating experiments: one
-//! benchmark per paper table, measuring the simulator work that produces
-//! it.  (Table 2 and Table 3 are configuration dumps with no simulation;
-//! they are covered by the probe/census benches' setup costs.)
+//! Benchmarks for the table-regenerating experiments: one benchmark per
+//! paper table, measuring the simulator work that produces it.  (Table 2
+//! and Table 3 are configuration dumps with no simulation; they are
+//! covered by the probe/census benches' setup costs.)
+//!
+//! Plain timing harness (no criterion — the build is offline); run with
+//! `cargo bench -p ascoma-bench --bench tables`.
 
 use ascoma::experiments::{run_cell, run_table6};
 use ascoma::probe::probe_table4;
 use ascoma::{Arch, SimConfig};
+use ascoma_bench::harness::bench;
 use ascoma_workloads::analyze::profile;
 use ascoma_workloads::{App, SizeClass};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-/// Table 1: measured overhead terms need one run per architecture; bench
-/// the canonical (em3d, 50%) cell per architecture.
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
+fn main() {
     let cfg = SimConfig::default();
+
+    // Table 1: measured overhead terms need one run per architecture;
+    // bench the canonical (em3d, 50%) cell per architecture.
     for arch in [Arch::CcNuma, Arch::Scoma, Arch::AsComa] {
-        g.bench_function(arch.name(), |b| {
-            b.iter(|| {
-                black_box(run_cell(
-                    App::Em3d,
-                    SizeClass::Tiny,
-                    arch,
-                    0.5,
-                    black_box(&cfg),
-                ))
-            })
+        bench(&format!("table1/{}", arch.name()), 5, 2, || {
+            black_box(run_cell(
+                App::Em3d,
+                SizeClass::Tiny,
+                arch,
+                0.5,
+                black_box(&cfg),
+            ))
         });
     }
-    g.finish();
-}
 
-/// Table 4: the four differential latency probes.
-fn bench_table4(c: &mut Criterion) {
-    let cfg = SimConfig::default();
-    c.bench_function("table4/probe", |b| {
-        b.iter(|| black_box(probe_table4(black_box(&cfg))))
+    // Table 4: the four differential latency probes.
+    bench("table4/probe", 5, 2, || {
+        black_box(probe_table4(black_box(&cfg)))
     });
-}
 
-/// Table 5: static workload profiling of all six applications.
-fn bench_table5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table5");
+    // Table 5: static workload profiling of all six applications.
     for app in App::ALL {
-        g.bench_function(app.name(), |b| {
-            b.iter(|| {
-                let t = app.build(SizeClass::Tiny, 4096);
-                black_box(profile(&t, 4096))
-            })
+        bench(&format!("table5/{}", app.name()), 5, 2, || {
+            let t = app.build(SizeClass::Tiny, 4096);
+            black_box(profile(&t, 4096))
         });
     }
-    g.finish();
-}
 
-/// Table 6: the R-NUMA relocation census at 10% pressure.
-fn bench_table6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table6");
-    g.sample_size(10);
-    let cfg = SimConfig::default();
+    // Table 6: the R-NUMA relocation census at 10% pressure.
     for app in [App::Radix, App::Fft] {
-        g.bench_function(app.name(), |b| {
-            b.iter(|| black_box(run_table6(app, SizeClass::Tiny, black_box(&cfg))))
+        bench(&format!("table6/{}", app.name()), 5, 2, || {
+            black_box(run_table6(app, SizeClass::Tiny, black_box(&cfg)))
         });
     }
-    g.finish();
 }
-
-criterion_group!(tables, bench_table1, bench_table4, bench_table5, bench_table6);
-criterion_main!(tables);

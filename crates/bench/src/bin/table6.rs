@@ -5,24 +5,23 @@
 use ascoma::experiments::run_table6;
 use ascoma::{report, SimConfig};
 use ascoma_bench::Options;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 fn main() {
     let opts = Options::parse(std::env::args().skip(1));
     let cfg = SimConfig::default();
     let rows = Mutex::new(vec![None; opts.apps.len()]);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (i, app) in opts.apps.iter().enumerate() {
             let rows = &rows;
             let cfg = &cfg;
             let size = opts.size;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let row = run_table6(*app, size, cfg);
-                rows.lock()[i] = Some(row);
+                rows.lock().unwrap()[i] = Some(row);
             });
         }
-    })
-    .expect("table6 sweep");
-    let rows: Vec<_> = rows.into_inner().into_iter().flatten().collect();
+    });
+    let rows: Vec<_> = rows.into_inner().unwrap().into_iter().flatten().collect();
     print!("{}", report::table6(&rows));
 }

@@ -10,8 +10,8 @@
 use ascoma::experiments::run_figure_on;
 use ascoma::{Arch, SimConfig};
 use ascoma_workloads::{App, SizeClass};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 type Key = (App, Arch, u32);
 
@@ -21,22 +21,19 @@ fn main() {
 
     // Run the whole cross product in parallel, one thread per app.
     let results: Mutex<HashMap<Key, f64>> = Mutex::new(HashMap::new());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for app in App::ALL {
             let results = &results;
             let cfg = &cfg;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let trace = app.build(SizeClass::Default, cfg.geometry.page_bytes());
                 let data = run_figure_on(&trace, &pressures, cfg);
-                let mut map = results.lock();
+                let mut map = results.lock().unwrap();
                 for bar in &data.bars {
                     let p = (bar.run.pressure * 100.0).round() as u32;
                     if bar.run.arch == Arch::CcNuma {
                         for &pp in &pressures {
-                            map.insert(
-                                (app, Arch::CcNuma, (pp * 100.0).round() as u32),
-                                1.0,
-                            );
+                            map.insert((app, Arch::CcNuma, (pp * 100.0).round() as u32), 1.0);
                         }
                     } else {
                         map.insert((app, bar.run.arch, p), bar.relative_time);
@@ -44,9 +41,8 @@ fn main() {
                 }
             });
         }
-    })
-    .expect("sweep");
-    let r = results.into_inner();
+    });
+    let r = results.into_inner().unwrap();
     let get = |app, arch, p: u32| r[&(app, arch, p)];
 
     let mut pass = 0;
@@ -117,7 +113,11 @@ fn main() {
         );
         v <= rn + 0.01 && v >= asc - 0.01
     });
-    check("VC-NUMA sits between R-NUMA and AS-COMA at 90%", vc_between, String::new());
+    check(
+        "VC-NUMA sits between R-NUMA and AS-COMA at 90%",
+        vc_between,
+        String::new(),
+    );
 
     // 6. AS-COMA beats R-NUMA most on radix at 10% (initial allocation).
     let radix_gain = get(App::Radix, Arch::RNuma, 10) / get(App::Radix, Arch::AsComa, 10) - 1.0;
@@ -131,15 +131,27 @@ fn main() {
     let lu_ok = [Arch::Scoma, Arch::AsComa, Arch::VcNuma, Arch::RNuma]
         .iter()
         .all(|&arch| [10u32, 50, 90].iter().all(|&p| get(App::Lu, arch, p) < 1.0));
-    check("lu: every hybrid beats CC-NUMA at all pressures", lu_ok, String::new());
+    check(
+        "lu: every hybrid beats CC-NUMA at all pressures",
+        lu_ok,
+        String::new(),
+    );
 
     // 8. fft/ocean insensitive (non-S-COMA archs within 10%).
     let flat = [App::Fft, App::Ocean].iter().all(|&a| {
-        [Arch::AsComa, Arch::VcNuma, Arch::RNuma].iter().all(|&arch| {
-            [10u32, 90].iter().all(|&p| (0.9..1.1).contains(&get(a, arch, p)))
-        })
+        [Arch::AsComa, Arch::VcNuma, Arch::RNuma]
+            .iter()
+            .all(|&arch| {
+                [10u32, 90]
+                    .iter()
+                    .all(|&p| (0.9..1.1).contains(&get(a, arch, p)))
+            })
     });
-    check("fft/ocean are architecture-insensitive", flat, String::new());
+    check(
+        "fft/ocean are architecture-insensitive",
+        flat,
+        String::new(),
+    );
 
     println!("\n{pass} passed, {fail} failed");
     if fail > 0 {

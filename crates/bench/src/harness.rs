@@ -1,0 +1,61 @@
+//! Minimal wall-clock benchmark harness for the `benches/` binaries.
+//!
+//! The build environment vendors no external crates, so the benches are
+//! plain `harness = false` mains built on this module instead of
+//! criterion: each benchmark runs a warm-up pass, then `samples` timed
+//! batches, and reports the median per-iteration time.  Deterministic
+//! enough for the <2% regression comparisons the observability layer
+//! needs (see `benches/obs_overhead.rs`).
+
+use std::time::Instant;
+
+/// Result of one benchmark: median/min per-iteration nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median per-iteration time over the sample batches, in ns.
+    pub median_ns: f64,
+    /// Fastest batch's per-iteration time, in ns.
+    pub min_ns: f64,
+}
+
+/// Time `f` over `samples` batches of `iters` iterations each (plus one
+/// warm-up batch), printing and returning the per-iteration median.
+pub fn bench<R>(name: &str, samples: usize, iters: usize, mut f: impl FnMut() -> R) -> Measurement {
+    assert!(samples >= 1 && iters >= 1);
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let m = Measurement {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+    };
+    println!(
+        "{name:<44} {:>12.0} ns/iter (min {:>12.0})",
+        m.median_ns, m.min_ns
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_times() {
+        let m = bench("test/noop_loop", 3, 10, || {
+            std::hint::black_box((0..100u64).sum::<u64>())
+        });
+        assert!(m.median_ns >= 0.0);
+        assert!(m.min_ns <= m.median_ns);
+    }
+}

@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use ascoma::experiments::{run_figure_on, FigureData};
 use ascoma::SimConfig;
 use ascoma_workloads::{App, SizeClass};
@@ -97,20 +99,19 @@ fn die(msg: &str) -> ! {
 }
 
 /// Run the figure cross-product for several apps in parallel (one thread
-/// per app via crossbeam scoped threads).
+/// per app via std scoped threads).
 pub fn run_figures_parallel(opts: &Options, base: &SimConfig) -> Vec<FigureData> {
     let mut out: Vec<Option<FigureData>> = vec![None; opts.apps.len()];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, app) in out.iter_mut().zip(&opts.apps) {
             let pressures = opts.pressures.clone();
             let size = opts.size;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let trace = app.build(size, base.geometry.page_bytes());
                 *slot = Some(run_figure_on(&trace, &pressures, base));
             });
         }
-    })
-    .expect("figure sweep thread panicked");
+    });
     out.into_iter().map(|o| o.expect("slot filled")).collect()
 }
 

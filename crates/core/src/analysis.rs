@@ -120,7 +120,11 @@ mod tests {
         let cc = analyze(&run(Arch::CcNuma, 0.5));
         assert_eq!(cc.avg_latency[1], 0.0, "CC-NUMA has no page cache");
         let sc = analyze(&run(Arch::Scoma, 0.1));
-        assert!(sc.avg_latency[1] >= 50.0, "page-cache avg {}", sc.avg_latency[1]);
+        assert!(
+            sc.avg_latency[1] >= 50.0,
+            "page-cache avg {}",
+            sc.avg_latency[1]
+        );
     }
 
     #[test]

@@ -93,12 +93,7 @@ pub fn exec_chart(data: &FigureData) -> String {
 /// does with its non-zero Y origin.
 pub fn miss_chart(data: &FigureData) -> String {
     let mut out = String::new();
-    let min_home = data
-        .bars
-        .iter()
-        .map(|b| b.run.miss.home)
-        .min()
-        .unwrap_or(0);
+    let min_home = data.bars.iter().map(|b| b.run.miss.home).min().unwrap_or(0);
     let max_total: u64 = data
         .bars
         .iter()
@@ -178,8 +173,7 @@ mod tests {
         let d = data();
         for line in exec_chart(&d).lines().chain(miss_chart(&d).lines()) {
             if let (Some(a), Some(b)) = (line.find('|'), line.rfind('|')) {
-                let inner: String =
-                    line[a + 1..b].chars().collect();
+                let inner: String = line[a + 1..b].chars().collect();
                 assert!(inner.chars().count() <= 48 + 2, "bar too wide: {line}");
             }
         }

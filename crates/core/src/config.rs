@@ -9,6 +9,7 @@
 use ascoma_mem::timing::MemTimings;
 use ascoma_net::NetTimings;
 use ascoma_sim::addr::Geometry;
+use ascoma_sim::Cycles;
 use ascoma_vm::KernelCosts;
 
 /// The five memory architectures under evaluation.
@@ -139,6 +140,12 @@ pub struct SimConfig {
     /// Base RNG seed (workload construction uses its own seeds; this one
     /// covers any machine-side randomization).
     pub seed: u64,
+    /// Observability sampler period in cycles: every `obs_sample_period`
+    /// cycles of global simulated time the machine emits per-node
+    /// time-series samples (free-pool level, threshold, miss breakdown,
+    /// network backlog) to the attached sink.  `0` disables sampling.
+    /// Ignored entirely when the sink is the no-op sink.
+    pub obs_sample_period: Cycles,
     /// Check machine-wide coherence/accounting invariants at every
     /// barrier and at end of run (slow; for tests).
     pub check_invariants: bool,
@@ -159,6 +166,7 @@ impl Default for SimConfig {
             free_target_frac: 0.07,
             policy: PolicyParams::default(),
             seed: 0xA5C0_3A00,
+            obs_sample_period: 0,
             check_invariants: false,
         }
     }

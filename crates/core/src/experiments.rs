@@ -113,11 +113,14 @@ pub fn run_table6(app: App, size: SizeClass, base: &SimConfig) -> Table6Row {
 }
 
 /// Run one `(app, arch, pressure)` cell (used by ablations and tests).
-pub fn run_cell(app: App, size: SizeClass, arch: Arch, pressure: f64, base: &SimConfig) -> RunResult {
-    let cfg = SimConfig {
-        pressure,
-        ..*base
-    };
+pub fn run_cell(
+    app: App,
+    size: SizeClass,
+    arch: Arch,
+    pressure: f64,
+    base: &SimConfig,
+) -> RunResult {
+    let cfg = SimConfig { pressure, ..*base };
     let trace = app.build(size, cfg.geometry.page_bytes());
     simulate(&trace, arch, &cfg)
 }

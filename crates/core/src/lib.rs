@@ -41,5 +41,5 @@ pub mod result;
 pub mod sweep;
 
 pub use config::{Arch, PolicyParams, SimConfig};
-pub use machine::{simulate, Machine};
+pub use machine::{simulate, simulate_traced, simulate_with_sink, Machine};
 pub use result::RunResult;

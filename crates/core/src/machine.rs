@@ -24,6 +24,10 @@ use crate::result::RunResult;
 use ascoma_mem::cache::{DirectMappedCache, Lookup};
 use ascoma_mem::timing::LocalMemory;
 use ascoma_net::{Network, Topology};
+use ascoma_obs::{
+    summarize, BackoffKind, Event, EvictCause, MapMode, NoopSink, Sink, ThresholdStep, TimedEvent,
+    VecSink,
+};
 use ascoma_proto::{Directory, FetchClass, ProtoStats};
 use ascoma_sim::addr::{VAddr, VPage};
 use ascoma_sim::sched::Scheduler;
@@ -62,6 +66,10 @@ struct NodeCtx<'t> {
     remote_touched: Vec<bool>,
     /// Distinct pages this node has upgraded to S-COMA.
     upgraded: Vec<bool>,
+    /// Every value the refetch threshold took, time-stamped (first entry
+    /// is the initial threshold at cycle 0).  Tracked unconditionally:
+    /// threshold moves are daemon-rate events, so the cost is nil.
+    trajectory: Vec<ThresholdStep>,
     done: bool,
     finish: Cycles,
     at_barrier: bool,
@@ -76,7 +84,12 @@ struct LockState {
 }
 
 /// The machine simulator.
-pub struct Machine<'t> {
+///
+/// Generic over an observability [`Sink`]; the default [`NoopSink`] has
+/// `Sink::ENABLED == false`, so every `if S::ENABLED` emission block is
+/// removed at compile time and an uninstrumented run is identical to the
+/// pre-instrumentation simulator.
+pub struct Machine<'t, S: Sink = NoopSink> {
     cfg: SimConfig,
     arch: Arch,
     trace: &'t Trace,
@@ -91,11 +104,21 @@ pub struct Machine<'t> {
     barrier_arrivals: Vec<Option<Cycles>>,
     active: usize,
     private_base: u64,
+    sink: S,
+    /// Next global time the periodic sampler fires (u64::MAX = off).
+    next_sample: Cycles,
 }
 
 impl<'t> Machine<'t> {
-    /// Build a machine for `trace` under `arch` and `cfg`.
+    /// Build an uninstrumented machine for `trace` under `arch` and `cfg`.
     pub fn new(trace: &'t Trace, arch: Arch, cfg: &SimConfig) -> Self {
+        Machine::with_sink(trace, arch, cfg, NoopSink)
+    }
+}
+
+impl<'t, S: Sink> Machine<'t, S> {
+    /// Build a machine whose instrumentation hooks emit into `sink`.
+    pub fn with_sink(trace: &'t Trace, arch: Arch, cfg: &SimConfig, sink: S) -> Self {
         cfg.validate();
         assert!(trace.nodes >= 1 && trace.nodes <= 64);
         let geo = cfg.geometry;
@@ -119,17 +142,16 @@ impl<'t> Machine<'t> {
                     cfg.free_min_frac,
                     cfg.free_target_frac,
                 );
+                let trajectory = vec![ThresholdStep {
+                    cycle: 0,
+                    threshold: cfg.policy.initial_threshold,
+                }];
                 NodeCtx {
                     clock: 0,
                     runner: TraceRunner::new(&trace.programs[n]),
-                    l1: DirectMappedCache::new_assoc(
-                        cfg.l1_bytes,
-                        geo.line_bytes(),
-                        cfg.l1_ways,
-                    ),
-                    rac: (cfg.rac_bytes > 0).then(|| {
-                        DirectMappedCache::new(cfg.rac_bytes, geo.block_bytes())
-                    }),
+                    l1: DirectMappedCache::new_assoc(cfg.l1_bytes, geo.line_bytes(), cfg.l1_ways),
+                    rac: (cfg.rac_bytes > 0)
+                        .then(|| DirectMappedCache::new(cfg.rac_bytes, geo.block_bytes())),
                     pt: PageTable::new(trace.shared_pages, geo.blocks_per_page()),
                     tlb: Tlb::paper(),
                     pool,
@@ -141,6 +163,7 @@ impl<'t> Machine<'t> {
                     kstats: KernelStats::default(),
                     remote_touched: vec![false; trace.shared_pages as usize],
                     upgraded: vec![false; trace.shared_pages as usize],
+                    trajectory,
                     done: false,
                     finish: 0,
                     at_barrier: false,
@@ -148,6 +171,11 @@ impl<'t> Machine<'t> {
             })
             .collect();
 
+        let next_sample = if S::ENABLED && cfg.obs_sample_period > 0 {
+            cfg.obs_sample_period
+        } else {
+            Cycles::MAX
+        };
         Self {
             cfg: *cfg,
             arch,
@@ -163,12 +191,29 @@ impl<'t> Machine<'t> {
             barrier_arrivals: vec![None; trace.nodes],
             active: trace.nodes,
             private_base: trace.shared_pages * geo.page_bytes(),
+            sink,
+            next_sample,
         }
     }
 
     /// Run to completion and collect results.
-    pub fn run(mut self) -> RunResult {
-        while let Some((node, _t)) = self.sched.pop() {
+    pub fn run(self) -> RunResult {
+        self.run_into().0
+    }
+
+    /// Run to completion; return the results and the sink (with whatever
+    /// it recorded).
+    pub fn run_into(mut self) -> (RunResult, S) {
+        while let Some((node, t)) = self.sched.pop() {
+            if S::ENABLED && t >= self.next_sample {
+                // The sampler observes node state between scheduler steps
+                // and never touches timing state, so it cannot perturb
+                // the simulation.
+                self.emit_samples();
+                while self.next_sample <= t {
+                    self.next_sample += self.cfg.obs_sample_period;
+                }
+            }
             self.step(node.idx());
         }
         assert!(
@@ -179,6 +224,50 @@ impl<'t> Machine<'t> {
             self.check_invariants();
         }
         self.collect()
+    }
+
+    /// Emit one round of per-node time-series samples, each stamped with
+    /// the sampled node's own clock (node clocks are monotone, so per-node
+    /// event streams stay time-ordered).
+    fn emit_samples(&mut self) {
+        for n in 0..self.nodes.len() {
+            let node = NodeId(n as u16);
+            let ctx = &self.nodes[n];
+            let clock = ctx.clock;
+            let free_pool = Event::FreePoolSample {
+                node,
+                free: ctx.pool.free_count(),
+                resident: ctx.pt.scoma_count() as u32,
+                deficit: ctx.pool.deficit(),
+            };
+            let threshold = Event::ThresholdSample {
+                node,
+                threshold: ctx.pol.threshold(),
+            };
+            let miss = Event::MissSample {
+                node,
+                total: ctx.miss.total(),
+                remote: ctx.miss.remote(),
+            };
+            let net = Event::NetSample {
+                node,
+                backlog: self.net.port_backlog(node, clock),
+                messages: self.net.messages(),
+            };
+            self.sink.emit(clock, free_pool);
+            self.sink.emit(clock, threshold);
+            self.sink.emit(clock, miss);
+            self.sink.emit(clock, net);
+        }
+    }
+
+    /// Emit `event` stamped with node `n`'s clock.  Call sites wrap this
+    /// in `if S::ENABLED` so event construction also compiles away.
+    #[inline]
+    fn emit(&mut self, n: usize, event: Event) {
+        if S::ENABLED {
+            self.sink.emit(self.nodes[n].clock, event);
+        }
     }
 
     /// Machine-wide invariants tying the substrates together.  These are
@@ -400,8 +489,7 @@ impl<'t> Machine<'t> {
         match self.nodes[n].l1.access(addr, write) {
             Lookup::Hit => self.charge(n, Bucket::LcMem, self.cfg.mem.l1_hit),
             Lookup::MissEmpty | Lookup::MissConflict(_) => {
-                let done =
-                    self.mems[n].local_fetch(now, addr.0, self.cfg.geometry.line_bytes());
+                let done = self.mems[n].local_fetch(now, addr.0, self.cfg.geometry.line_bytes());
                 self.fill_l1(n, addr, write);
                 let lat = done - now + self.cfg.mem.l1_hit;
                 self.charge(n, Bucket::LcMem, lat);
@@ -489,11 +577,21 @@ impl<'t> Machine<'t> {
     }
 
     /// Miss on a page homed at this node.
-    fn home_miss(&mut self, n: usize, page: VPage, block: ascoma_sim::addr::BlockId, addr: VAddr, write: bool) {
+    fn home_miss(
+        &mut self,
+        n: usize,
+        page: VPage,
+        block: ascoma_sim::addr::BlockId,
+        addr: VAddr,
+        write: bool,
+    ) {
         let node = NodeId(n as u16);
         let out = self.dir.fetch(node, block, write);
-        self.proto_stats
-            .record_fetch(out.forward_from.is_none(), out.forward_from.is_some(), out.invalidate.len());
+        self.proto_stats.record_fetch(
+            out.forward_from.is_none(),
+            out.forward_from.is_some(),
+            out.invalidate.len(),
+        );
         self.apply_invalidations(out.invalidate, block, page);
         let now = self.nodes[n].clock;
         if let Some(owner) = out.forward_from {
@@ -503,8 +601,12 @@ impl<'t> Machine<'t> {
             let t = self.net.send(t, node, owner, 0);
             let t = t + self.cfg.mem.dsm_occupancy;
             let t = self.mems[owner.idx()].local_fetch(t, addr.0, self.cfg.geometry.block_bytes());
-            let t = self.net.send(t, owner, node, self.cfg.geometry.block_bytes());
-            let t = self.mems[n].bus.transact(t, self.cfg.geometry.block_bytes());
+            let t = self
+                .net
+                .send(t, owner, node, self.cfg.geometry.block_bytes());
+            let t = self.mems[n]
+                .bus
+                .transact(t, self.cfg.geometry.block_bytes());
             self.count_remote_class(n, out.class);
             self.nodes[n].lat.remote_cycles += t - now;
             self.charge(n, Bucket::ShMem, t - now);
@@ -519,7 +621,14 @@ impl<'t> Machine<'t> {
     }
 
     /// Miss on an S-COMA-mapped page.
-    fn scoma_miss(&mut self, n: usize, page: VPage, block: ascoma_sim::addr::BlockId, addr: VAddr, write: bool) {
+    fn scoma_miss(
+        &mut self,
+        n: usize,
+        page: VPage,
+        block: ascoma_sim::addr::BlockId,
+        addr: VAddr,
+        write: bool,
+    ) {
         let geo = self.cfg.geometry;
         let node = NodeId(n as u16);
         let bin = geo.block_in_page(addr);
@@ -602,10 +711,20 @@ impl<'t> Machine<'t> {
         self.fill_l1(n, addr, write);
 
         // Relocation notice piggybacked on the response?
-        if out.class == FetchClass::Refetch
-            && self.nodes[n].pol.should_relocate(out.refetch_count)
+        if out.class == FetchClass::Refetch && self.nodes[n].pol.should_relocate(out.refetch_count)
         {
             self.proto_stats.record_notice();
+            if S::ENABLED {
+                self.emit(
+                    n,
+                    Event::RefetchCrossing {
+                        node,
+                        page,
+                        count: out.refetch_count,
+                        threshold: self.nodes[n].pol.threshold(),
+                    },
+                );
+            }
             self.relocate(n, page);
         }
     }
@@ -640,7 +759,10 @@ impl<'t> Machine<'t> {
                 if home == node {
                     (home, t) // degenerate; home misses use home_miss()
                 } else {
-                    (home, self.mems[home.idx()].local_fetch(t, addr.0, geo.block_bytes()))
+                    (
+                        home,
+                        self.mems[home.idx()].local_fetch(t, addr.0, geo.block_bytes()),
+                    )
                 }
             }
             Some(o) => {
@@ -708,7 +830,12 @@ impl<'t> Machine<'t> {
     /// Drop invalidated copies from the other nodes' caches and S-COMA
     /// valid bits (their next miss to this block classifies as a
     /// coherence miss at the directory).
-    fn apply_invalidations(&mut self, targets: NodeSet, block: ascoma_sim::addr::BlockId, page: VPage) {
+    fn apply_invalidations(
+        &mut self,
+        targets: NodeSet,
+        block: ascoma_sim::addr::BlockId,
+        page: VPage,
+    ) {
         if targets.is_empty() {
             return;
         }
@@ -754,6 +881,16 @@ impl<'t> Machine<'t> {
             self.nodes[n].tlb.invalidate(page);
             self.charge(n, Bucket::KOverhd, self.cfg.kernel.remap);
             self.nodes[n].kstats.replica_collapses += 1;
+            if S::ENABLED {
+                self.emit(
+                    n,
+                    Event::PageEvicted {
+                        node,
+                        page,
+                        cause: EvictCause::ReplicaCollapse,
+                    },
+                );
+            }
         }
         if holders.is_empty() {
             return;
@@ -775,6 +912,17 @@ impl<'t> Machine<'t> {
             ctx.exec.k_overhd += self.cfg.kernel.remap;
             ctx.clock += self.cfg.kernel.remap;
             ctx.kstats.replica_collapses += 1;
+            if S::ENABLED {
+                let cycle = ctx.clock;
+                self.sink.emit(
+                    cycle,
+                    Event::PageEvicted {
+                        node: o,
+                        page,
+                        cause: EvictCause::ReplicaCollapse,
+                    },
+                );
+            }
         }
         // Shoot-down round trip charged to the writer.
         let now = self.nodes[n].clock;
@@ -786,10 +934,21 @@ impl<'t> Machine<'t> {
 
     /// First-touch page fault: establish the page's mapping.
     fn handle_fault(&mut self, n: usize, page: VPage, home: NodeId) {
+        let node = NodeId(n as u16);
         self.charge(n, Bucket::KBase, self.cfg.kernel.page_fault);
         self.nodes[n].kstats.page_faults += 1;
-        if home == NodeId(n as u16) {
+        if home == node {
             self.nodes[n].pt.map_home(page);
+            if S::ENABLED {
+                self.emit(
+                    n,
+                    Event::PageMapped {
+                        node,
+                        page,
+                        mode: MapMode::Home,
+                    },
+                );
+            }
             return;
         }
         self.nodes[n].remote_touched[page.0 as usize] = true;
@@ -801,22 +960,40 @@ impl<'t> Machine<'t> {
         {
             if let Some(frame) = self.nodes[n].pool.alloc() {
                 self.nodes[n].pt.map_scoma(page, frame);
-                self.dir.add_replica(NodeId(n as u16), page);
+                self.dir.add_replica(node, page);
                 self.nodes[n].kstats.replications += 1;
+                if S::ENABLED {
+                    self.emit(
+                        n,
+                        Event::PageMapped {
+                            node,
+                            page,
+                            mode: MapMode::Replica,
+                        },
+                    );
+                }
                 return;
             }
         }
         let free = self.nodes[n].pool.free_count() > 0;
-        match self.nodes[n].pol.initial_map(free) {
-            MapChoice::Numa => self.nodes[n].pt.map_numa(page),
+        let mode = match self.nodes[n].pol.initial_map(free) {
+            MapChoice::Numa => {
+                self.nodes[n].pt.map_numa(page);
+                MapMode::Numa
+            }
             MapChoice::Scoma => {
                 if let Some(frame) = self.acquire_frame(n) {
                     self.nodes[n].pt.map_scoma(page, frame);
                     self.top_up_pool(n);
+                    MapMode::Scoma
                 } else {
                     self.nodes[n].pt.map_numa(page);
+                    MapMode::Numa
                 }
             }
+        };
+        if S::ENABLED {
+            self.emit(n, Event::PageMapped { node, page, mode });
         }
     }
 
@@ -828,6 +1005,17 @@ impl<'t> Machine<'t> {
         if let Some(frame) = self.acquire_frame(n) {
             self.nodes[n].pt.map_scoma(page, frame);
             self.top_up_pool(n);
+            if S::ENABLED {
+                let node = NodeId(n as u16);
+                self.emit(
+                    n,
+                    Event::PageMapped {
+                        node,
+                        page,
+                        mode: MapMode::ScomaRefault,
+                    },
+                );
+            }
         }
         // With zero cache frames the access falls through in NUMA mode
         // (documented deviation: the paper never runs S-COMA above 90%
@@ -852,9 +1040,11 @@ impl<'t> Machine<'t> {
                     daemon.pick_victim(pt)?
                 };
                 let absorbed = self.nodes[n].pt.local_refetches(victim);
-                let frame = self.evict_page(n, victim);
+                let frame = self.evict_page(n, victim, EvictCause::Victim);
                 let cache_frames = self.nodes[n].pool.cache_frames();
+                let before = self.nodes[n].pol.threshold();
                 self.nodes[n].pol.on_vc_replacement(absorbed, cache_frames);
+                self.note_threshold_change(n, before);
                 Some(frame)
             }
         }
@@ -886,17 +1076,36 @@ impl<'t> Machine<'t> {
             let NodeCtx { daemon, pt, .. } = ctx;
             daemon.run(now, pt, deficit)
         };
-        self.charge(n, Bucket::KOverhd, self.cfg.kernel.daemon_cost(out.examined));
+        self.charge(
+            n,
+            Bucket::KOverhd,
+            self.cfg.kernel.daemon_cost(out.examined),
+        );
         self.nodes[n].kstats.daemon_runs += 1;
         if !out.reached_target {
             self.nodes[n].kstats.daemon_failures += 1;
         }
+        if S::ENABLED {
+            self.emit(
+                n,
+                Event::DaemonEpoch {
+                    node: NodeId(n as u16),
+                    epoch: self.nodes[n].daemon.epochs(),
+                    examined: out.examined,
+                    reclaimed: out.victims.len() as u32,
+                    deficit,
+                    reached_target: out.reached_target,
+                },
+            );
+        }
         for v in &out.victims {
-            let frame = self.evict_page(n, *v);
+            let frame = self.evict_page(n, *v, EvictCause::Daemon);
             self.nodes[n].pool.release(frame);
             self.nodes[n].kstats.pages_reclaimed += 1;
         }
+        let before = self.nodes[n].pol.threshold();
         let adj = self.nodes[n].pol.on_daemon_result(out.reached_target);
+        self.note_threshold_change(n, before);
         let (raises, drops) = self.nodes[n].pol.backoff_stats();
         self.nodes[n].kstats.threshold_raises = raises;
         self.nodes[n].kstats.threshold_drops = drops;
@@ -907,10 +1116,41 @@ impl<'t> Machine<'t> {
         );
     }
 
+    /// If node `n`'s threshold differs from `before`, append the new value
+    /// to its trajectory (always) and emit a back-off event (when traced).
+    fn note_threshold_change(&mut self, n: usize, before: u32) {
+        let after = self.nodes[n].pol.threshold();
+        if after == before {
+            return;
+        }
+        let cycle = self.nodes[n].clock;
+        self.nodes[n].trajectory.push(ThresholdStep {
+            cycle,
+            threshold: after,
+        });
+        if S::ENABLED {
+            let kind = if after > before {
+                BackoffKind::Raise
+            } else {
+                BackoffKind::Drop
+            };
+            self.emit(
+                n,
+                Event::ThresholdBackoff {
+                    node: NodeId(n as u16),
+                    from: before,
+                    to: after,
+                    kind,
+                    relocation_disabled: self.nodes[n].pol.relocation_disabled(),
+                },
+            );
+        }
+    }
+
     /// Evict an S-COMA page: flush caches, write dirty blocks home, drop
     /// the node from the page's copysets (marking induced-cold), unmap.
     /// Returns the freed frame.
-    fn evict_page(&mut self, n: usize, page: VPage) -> u32 {
+    fn evict_page(&mut self, n: usize, page: VPage, cause: EvictCause) -> u32 {
         let geo = self.cfg.geometry;
         let node = NodeId(n as u16);
         let base = geo.page_base(page);
@@ -919,12 +1159,14 @@ impl<'t> Machine<'t> {
             rac.invalidate_range(base, geo.page_bytes());
         }
         let (dropped, _dirty) = self.dir.flush_page(node, page);
-        let cost = self.cfg.kernel.remap
-            + self.cfg.kernel.flush_per_block * dropped as Cycles;
+        let cost = self.cfg.kernel.remap + self.cfg.kernel.flush_per_block * dropped as Cycles;
         self.charge(n, Bucket::KOverhd, cost);
         self.nodes[n].tlb.invalidate(page);
         self.nodes[n].kstats.blocks_flushed += dropped as u64;
         self.nodes[n].kstats.downgrades += 1;
+        if S::ENABLED {
+            self.emit(n, Event::PageEvicted { node, page, cause });
+        }
         self.nodes[n].pt.unmap_scoma(page)
     }
 
@@ -939,6 +1181,9 @@ impl<'t> Machine<'t> {
                 // Reset the counter so the next notice needs a fresh run
                 // of refetches (hysteresis).
                 self.dir.reset_refetch(page, node);
+                if S::ENABLED {
+                    self.emit(n, Event::UpgradeDeclined { node, page });
+                }
             }
             Some(frame) => {
                 let geo = self.cfg.geometry;
@@ -948,8 +1193,8 @@ impl<'t> Machine<'t> {
                     rac.invalidate_range(base, geo.page_bytes());
                 }
                 let (dropped, _dirty) = self.dir.flush_page(node, page);
-                let cost = self.cfg.kernel.remap
-                    + self.cfg.kernel.flush_per_block * dropped as Cycles;
+                let cost =
+                    self.cfg.kernel.remap + self.cfg.kernel.flush_per_block * dropped as Cycles;
                 self.charge(n, Bucket::KOverhd, cost);
                 self.nodes[n].kstats.blocks_flushed += dropped as u64;
                 self.nodes[n].tlb.invalidate(page);
@@ -957,6 +1202,17 @@ impl<'t> Machine<'t> {
                 self.dir.reset_refetch(page, node);
                 self.nodes[n].kstats.upgrades += 1;
                 self.nodes[n].upgraded[page.0 as usize] = true;
+                if S::ENABLED {
+                    let threshold = self.nodes[n].pol.threshold();
+                    self.emit(
+                        n,
+                        Event::PageUpgraded {
+                            node,
+                            page,
+                            threshold,
+                        },
+                    );
+                }
                 self.top_up_pool(n);
             }
         }
@@ -964,7 +1220,7 @@ impl<'t> Machine<'t> {
 
     // ----- results -----
 
-    fn collect(self) -> RunResult {
+    fn collect(self) -> (RunResult, S) {
         let mut exec = ExecBreakdown::default();
         let mut miss = MissBreakdown::default();
         let mut lat = MissLatency::default();
@@ -973,6 +1229,7 @@ impl<'t> Machine<'t> {
         let mut remote_pairs = 0u64;
         let mut relocated_pairs = 0u64;
         let mut thresholds = Vec::with_capacity(self.nodes.len());
+        let mut trajectories = Vec::with_capacity(self.nodes.len());
         let mut cycles = 0;
         for ctx in &self.nodes {
             exec.add(&ctx.exec);
@@ -983,9 +1240,10 @@ impl<'t> Machine<'t> {
             remote_pairs += ctx.remote_touched.iter().filter(|&&t| t).count() as u64;
             relocated_pairs += ctx.upgraded.iter().filter(|&&t| t).count() as u64;
             thresholds.push(ctx.pol.threshold());
+            trajectories.push(ctx.trajectory.clone());
             cycles = cycles.max(ctx.finish);
         }
-        RunResult {
+        let result = RunResult {
             arch: self.arch,
             workload: self.trace.name.clone(),
             pressure: self.cfg.pressure,
@@ -999,9 +1257,12 @@ impl<'t> Machine<'t> {
             remote_page_node_pairs: remote_pairs,
             relocated_page_node_pairs: relocated_pairs,
             final_thresholds: thresholds,
+            threshold_trajectories: trajectories,
             net_messages: self.net.messages(),
             net_queued_cycles: self.net.port_queued_cycles(),
-        }
+            obs: None,
+        };
+        (result, self.sink)
     }
 }
 
@@ -1019,6 +1280,45 @@ impl<'t> Machine<'t> {
 /// ```
 pub fn simulate(trace: &Trace, arch: Arch, cfg: &SimConfig) -> RunResult {
     Machine::new(trace, arch, cfg).run()
+}
+
+/// Run `trace` with instrumentation emitting into `sink`; returns the
+/// result and the sink.  With [`NoopSink`] this is exactly [`simulate`]
+/// (the emission sites compile away), which
+/// `tests/observability.rs::noop_sink_run_matches_uninstrumented_run`
+/// asserts cycle-for-cycle.
+pub fn simulate_with_sink<S: Sink>(
+    trace: &Trace,
+    arch: Arch,
+    cfg: &SimConfig,
+    sink: S,
+) -> (RunResult, S) {
+    Machine::with_sink(trace, arch, cfg, sink).run_into()
+}
+
+/// Run `trace` recording the full event stream; returns the result (with
+/// its [`RunResult::obs`] digest filled in) and the recorded events.
+///
+/// Enable periodic time-series samples via
+/// [`SimConfig::obs_sample_period`]; transition events are always
+/// recorded.
+///
+/// ```
+/// use ascoma::machine::simulate_traced;
+/// use ascoma::{Arch, SimConfig};
+/// use ascoma_workloads::{App, SizeClass};
+///
+/// let mut cfg = SimConfig::at_pressure(0.7);
+/// cfg.obs_sample_period = 50_000;
+/// let trace = App::Em3d.build(SizeClass::Tiny, cfg.geometry.page_bytes());
+/// let (r, events) = simulate_traced(&trace, Arch::AsComa, &cfg);
+/// assert!(!events.is_empty());
+/// assert!(r.obs.is_some());
+/// ```
+pub fn simulate_traced(trace: &Trace, arch: Arch, cfg: &SimConfig) -> (RunResult, Vec<TimedEvent>) {
+    let (mut result, sink) = simulate_with_sink(trace, arch, cfg, VecSink::new());
+    result.obs = Some(summarize(&sink.events, trace.nodes));
+    (result, sink.events)
 }
 
 #[cfg(test)]
@@ -1143,12 +1443,7 @@ mod tests {
             // finish time), so no time is double-counted or lost.
             assert!(per.total() > 0);
         }
-        let max_total = r
-            .exec_per_node
-            .iter()
-            .map(|e| e.total())
-            .max()
-            .unwrap();
+        let max_total = r.exec_per_node.iter().map(|e| e.total()).max().unwrap();
         assert_eq!(r.cycles, max_total);
     }
 
@@ -1226,10 +1521,7 @@ mod path_tests {
         // Node 1 reads remote line; node 0 (home) reads it too; node 1
         // then writes the same line: a permission upgrade with one
         // invalidation, no data refetch.
-        let t = two_node_trace(
-            vec![(0, false)],
-            vec![(64, false), (64, false), (64, true)],
-        );
+        let t = two_node_trace(vec![(0, false)], vec![(64, false), (64, false), (64, true)]);
         let r = simulate(&t, Arch::CcNuma, &SimConfig::default());
         assert!(r.proto.upgrades >= 1, "{:?}", r.proto);
         assert!(r.proto.invalidations >= 1);

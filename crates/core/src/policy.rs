@@ -149,7 +149,9 @@ impl PolicyState {
         if !reached_target {
             self.raises += 1;
             self.numa_first = true;
-            self.threshold = self.threshold.saturating_add(self.params.threshold_increment);
+            self.threshold = self
+                .threshold
+                .saturating_add(self.params.threshold_increment);
             if self.threshold > self.params.threshold_cap {
                 self.relocation_disabled = true;
             }
@@ -189,8 +191,9 @@ impl PolicyState {
             if avg < self.params.vc_break_even as u64 {
                 // Replacements are not paying for themselves: back off.
                 self.raises += 1;
-                self.threshold =
-                    self.threshold.saturating_add(self.params.threshold_increment);
+                self.threshold = self
+                    .threshold
+                    .saturating_add(self.params.threshold_increment);
             } else if avg >= 2 * self.params.vc_break_even as u64
                 && self.threshold > self.params.initial_threshold
             {

@@ -93,20 +93,12 @@ pub fn probe_table4(cfg: &SimConfig) -> Table4Probe {
     let pages = 8u64;
     let lines_per_page = pb / lb;
     let n_reads = pages * lines_per_page;
-    let local_trace = probe_trace(
-        pages,
-        reads((0..n_reads).map(|i| i * lb)),
-        reads([]),
-    );
+    let local_trace = probe_trace(pages, reads((0..n_reads).map(|i| i * lb)), reads([]));
     let local = sh_mem(&run(&local_trace, cfg), 0) as f64 / n_reads as f64;
 
     // --- Remote memory: node 1 reads one line per remote block. ---
     let blocks = pages * (pb / bb);
-    let remote_trace = probe_trace(
-        pages,
-        reads([]),
-        reads((0..blocks).map(|i| i * bb)),
-    );
+    let remote_trace = probe_trace(pages, reads([]), reads((0..blocks).map(|i| i * bb)));
     let remote = sh_mem(&run(&remote_trace, cfg), 1) as f64 / blocks as f64;
 
     // --- RAC: all-lines minus first-line, per remote block. ---
@@ -114,17 +106,14 @@ pub fn probe_table4(cfg: &SimConfig) -> Table4Probe {
         f64::NAN
     } else {
         let lines_per_block = bb / lb;
-        let first_only = probe_trace(
-            pages,
-            reads([]),
-            reads((0..blocks).map(|i| i * bb)),
-        );
+        let first_only = probe_trace(pages, reads([]), reads((0..blocks).map(|i| i * bb)));
         let all_lines = probe_trace(
             pages,
             reads([]),
             reads((0..blocks).flat_map(|i| (0..lines_per_block).map(move |l| i * bb + l * lb))),
         );
-        let extra = sh_mem(&run(&all_lines, cfg), 1) as f64 - sh_mem(&run(&first_only, cfg), 1) as f64;
+        let extra =
+            sh_mem(&run(&all_lines, cfg), 1) as f64 - sh_mem(&run(&first_only, cfg), 1) as f64;
         extra / (blocks * (lines_per_block - 1)) as f64
     };
 
@@ -154,11 +143,7 @@ mod tests {
             "local {} not ~58",
             p.local_memory
         );
-        assert!(
-            (10.0..=25.0).contains(&p.rac),
-            "RAC {} not ~16",
-            p.rac
-        );
+        assert!((10.0..=25.0).contains(&p.rac), "RAC {} not ~16", p.rac);
         assert!(
             (160.0..=220.0).contains(&p.remote_memory),
             "remote {} not ~190",

@@ -134,7 +134,10 @@ pub fn table3(cfg: &SimConfig) -> String {
 /// Table 4: measured minimum access latencies.
 pub fn table4(p: &Table4Probe) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Table 4 — minimum access latency (measured, zero contention)");
+    let _ = writeln!(
+        s,
+        "Table 4 — minimum access latency (measured, zero contention)"
+    );
     let _ = writeln!(s, "{:<16} {:>10}", "Data location", "Latency");
     let _ = writeln!(s, "{:<16} {:>9.1} cycle(s)", "L1 cache", p.l1_hit);
     let _ = writeln!(s, "{:<16} {:>9.1} cycles", "Local memory", p.local_memory);

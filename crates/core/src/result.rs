@@ -1,6 +1,7 @@
 //! Results of one simulation run: the data behind every chart and table.
 
 use crate::config::Arch;
+use ascoma_obs::{Summary, ThresholdStep};
 use ascoma_proto::ProtoStats;
 use ascoma_sim::stats::{ExecBreakdown, KernelStats, MissBreakdown, MissLatency};
 use ascoma_sim::Cycles;
@@ -36,11 +37,22 @@ pub struct RunResult {
     /// (Table 6, col 2, under the run's relocation policy).
     pub relocated_page_node_pairs: u64,
     /// Final refetch thresholds per node (back-off visibility).
+    ///
+    /// Kept for compatibility; [`RunResult::threshold_trajectories`]
+    /// records the full back-off/recovery path each value is the end of.
     pub final_thresholds: Vec<u32>,
+    /// Per-node refetch-threshold trajectory: every value the threshold
+    /// took, time-stamped, starting with the initial threshold at cycle 0.
+    /// The last entry of each trajectory equals the corresponding
+    /// `final_thresholds` value.
+    pub threshold_trajectories: Vec<Vec<ThresholdStep>>,
     /// Total network messages.
     pub net_messages: u64,
     /// Cycles messages spent queued at network input ports.
     pub net_queued_cycles: Cycles,
+    /// Observability digest: present when the run was traced (e.g. via
+    /// `simulate_traced`), `None` for untraced runs.
+    pub obs: Option<Summary>,
 }
 
 impl RunResult {
@@ -92,8 +104,10 @@ mod tests {
             remote_page_node_pairs: 10,
             relocated_page_node_pairs: 4,
             final_thresholds: vec![],
+            threshold_trajectories: vec![],
             net_messages: 0,
             net_queued_cycles: 0,
+            obs: None,
         }
     }
 

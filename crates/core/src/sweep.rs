@@ -73,10 +73,7 @@ impl<'t> Sweep<'t> {
 
     /// Mutate each cell's configuration (e.g. disable the RAC for one
     /// architecture, scale a kernel cost with pressure).
-    pub fn configure(
-        mut self,
-        f: impl Fn(&mut SimConfig, Arch, f64) + Sync + 'static,
-    ) -> Self {
+    pub fn configure(mut self, f: impl Fn(&mut SimConfig, Arch, f64) + Sync + 'static) -> Self {
         self.mutate = Some(Box::new(f));
         self
     }
@@ -201,7 +198,9 @@ mod tests {
     #[test]
     fn best_and_worst_bracket_all_cells() {
         let t = trace();
-        let g = Sweep::new(&t).pressures([0.1, 0.9]).run(&SimConfig::default());
+        let g = Sweep::new(&t)
+            .pressures([0.1, 0.9])
+            .run(&SimConfig::default());
         let best = g.best().cycles;
         let worst = g.worst().cycles;
         assert!(g.cells.iter().all(|c| (best..=worst).contains(&c.cycles)));

@@ -110,8 +110,7 @@ impl DirectMappedCache {
     /// Way index of `a` within its set, if resident.
     #[inline]
     fn find(&self, base: usize, a: u64) -> Option<usize> {
-        (base..base + self.ways)
-            .find(|&i| matches!(self.sets[i], Some(l) if l.addr == a))
+        (base..base + self.ways).find(|&i| matches!(self.sets[i], Some(l) if l.addr == a))
     }
 
     /// The slot to fill in a set: an empty way, else the LRU way.
@@ -198,7 +197,10 @@ impl DirectMappedCache {
             addr: VAddr(l.addr),
             dirty: l.dirty,
         });
-        self.sets[slot] = Some(Line { addr: a, dirty: write });
+        self.sets[slot] = Some(Line {
+            addr: a,
+            dirty: write,
+        });
         self.stamps[slot] = self.tick;
         victim
     }

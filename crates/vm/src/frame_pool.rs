@@ -15,6 +15,8 @@ pub struct FramePool {
     free: Vec<u32>,
     free_min: u32,
     free_target: u32,
+    allocs: u64,
+    low_watermark: u32,
 }
 
 impl FramePool {
@@ -24,13 +26,16 @@ impl FramePool {
     pub fn new(total_frames: u32, home_frames: u32, free_min: u32, free_target: u32) -> Self {
         assert!(home_frames <= total_frames);
         assert!(free_min <= free_target);
-        let free = (home_frames..total_frames).rev().collect();
+        let free: Vec<u32> = (home_frames..total_frames).rev().collect();
+        let low_watermark = free.len() as u32;
         Self {
             total_frames,
             home_frames,
             free,
             free_min,
             free_target,
+            allocs: 0,
+            low_watermark,
         }
     }
 
@@ -52,7 +57,12 @@ impl FramePool {
 
     /// Take a frame, if any are free.
     pub fn alloc(&mut self) -> Option<u32> {
-        self.free.pop()
+        let f = self.free.pop();
+        if f.is_some() {
+            self.allocs += 1;
+            self.low_watermark = self.low_watermark.min(self.free.len() as u32);
+        }
+        f
     }
 
     /// Return a frame to the pool.
@@ -110,6 +120,16 @@ impl FramePool {
     pub fn pressure(&self) -> f64 {
         self.home_frames as f64 / self.total_frames as f64
     }
+
+    /// Successful allocations over the pool's lifetime.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// The lowest free count ever observed (how deep the pool drained).
+    pub fn low_watermark(&self) -> u32 {
+        self.low_watermark
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +169,21 @@ mod tests {
         assert_eq!(p.free_count(), 2);
         assert!(p.below_min());
         assert_eq!(p.deficit(), 4);
+    }
+
+    #[test]
+    fn alloc_counters_and_low_watermark() {
+        let mut p = FramePool::new(10, 6, 1, 2);
+        assert_eq!(p.low_watermark(), 4);
+        p.alloc();
+        p.alloc();
+        assert_eq!(p.allocs(), 2);
+        assert_eq!(p.low_watermark(), 2);
+        let f = p.alloc().unwrap();
+        p.release(f);
+        // The watermark records the deepest drain, not the current level.
+        assert_eq!(p.low_watermark(), 1);
+        assert_eq!(p.free_count(), 2);
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub use costs::KernelCosts;
 pub use frame_pool::FramePool;
 pub use mode::PageMode;
 pub use page_table::PageTable;
-pub use tlb::Tlb;
 pub use pageout::{PageoutDaemon, PageoutOutcome};
+pub use tlb::Tlb;

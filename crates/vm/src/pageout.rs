@@ -42,6 +42,7 @@ pub struct PageoutDaemon {
     /// daemon" by raising this.
     pub period: Cycles,
     last_run: Option<Cycles>,
+    epochs: u64,
 }
 
 impl PageoutDaemon {
@@ -51,7 +52,14 @@ impl PageoutDaemon {
             hand: 0,
             period,
             last_run: None,
+            epochs: 0,
         }
+    }
+
+    /// Completed invocations of [`PageoutDaemon::run`] so far (a monotone
+    /// epoch number for trace correlation).
+    pub fn epochs(&self) -> u64 {
+        self.epochs
     }
 
     /// Whether the daemon may run again at `now` (rate limiting).
@@ -75,6 +83,7 @@ impl PageoutDaemon {
     /// is genuinely hot).
     pub fn run(&mut self, now: Cycles, pt: &mut PageTable, deficit: u32) -> PageoutOutcome {
         self.last_run = Some(now);
+        self.epochs += 1;
         let n = pt.scoma_count();
         let mut victims = Vec::new();
         let mut examined = 0u32;

@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn capacity_eviction_round_robins() {
         let mut t = Tlb::new(4, 2); // 2 sets x 2 ways
-        // Pages 0, 2, 4 all map to set 0; third fill evicts the first.
+                                    // Pages 0, 2, 4 all map to set 0; third fill evicts the first.
         assert!(!t.access(VPage(0)));
         assert!(!t.access(VPage(2)));
         assert!(!t.access(VPage(4))); // evicts page 0 (way 0)

@@ -81,8 +81,7 @@ pub fn profile(trace: &Trace, page_bytes: u64) -> WorkloadProfile {
     }
 
     let max_remote = remote_pages.iter().copied().max().unwrap_or(0);
-    let mean_home =
-        home_pages.iter().sum::<usize>() as f64 / trace.nodes as f64;
+    let mean_home = home_pages.iter().sum::<usize>() as f64 / trace.nodes as f64;
     let ideal = if mean_home + max_remote as f64 > 0.0 {
         mean_home / (mean_home + max_remote as f64)
     } else {

@@ -133,14 +133,11 @@ impl BarnesParams {
             let batches: Vec<u32> = (0..self.tree_batches)
                 .map(|b| {
                     let mut seg = Segment::new(6);
-                    let cells_per_batch =
-                        (tree.bytes / self.tree_batches as u64 / 64).max(1);
+                    let cells_per_batch = (tree.bytes / self.tree_batches as u64 / 64).max(1);
                     for c in 0..cells_per_batch {
                         // Interleave nodes within the cell array so cells
                         // are genuinely shared.
-                        let off = ((b as u64 * cells_per_batch + c)
-                            * self.nodes as u64
-                            + n as u64)
+                        let off = ((b as u64 * cells_per_batch + c) * self.nodes as u64 + n as u64)
                             * 64
                             % tree.bytes;
                         seg.push(tree.base + (off & !63), true);
@@ -226,10 +223,7 @@ mod tests {
             .filter(|o| !o.private())
             .map(|o| o.addr())
             .collect();
-        let sequential = shared
-            .windows(2)
-            .filter(|w| w[1] == w[0] + 128)
-            .count();
+        let sequential = shared.windows(2).filter(|w| w[1] == w[0] + 128).count();
         assert!(
             sequential * 10 >= shared.len() * 7,
             "force reads not dense: {sequential}/{}",

@@ -102,19 +102,17 @@ impl Em3dParams {
                 let my_slab = |base: u64| base + n as u64 * self.n_per_node * self.elem_bytes;
                 let dst0 = my_slab(dst_base);
                 let src0 = my_slab(src_base);
-                let window =
-                    ((self.n_per_node as f64 * self.remote_window_frac) as u64).max(1);
+                let window = ((self.n_per_node as f64 * self.remote_window_frac) as u64).max(1);
                 for i in 0..self.n_per_node {
                     for _ in 0..self.degree {
                         if rng.chance(self.remote_frac) {
                             // Remote edge: bounded window of a downstream
                             // neighbor's source slab.
-                            let nb =
-                                (n + 1 + rng.below(self.neighbor_span as u64) as usize)
-                                    % self.nodes;
+                            let nb = (n + 1 + rng.below(self.neighbor_span as u64) as usize)
+                                % self.nodes;
                             let idx = rng.below(window);
-                            let a = src_base
-                                + (nb as u64 * self.n_per_node + idx) * self.elem_bytes;
+                            let a =
+                                src_base + (nb as u64 * self.n_per_node + idx) * self.elem_bytes;
                             seg.push(a, false);
                         } else if rng.chance(0.9) {
                             // Local edge with graph locality: neighbours
@@ -231,10 +229,7 @@ mod tests {
         let a = Em3dParams::tiny().build(4096);
         let b = Em3dParams::tiny().build(4096);
         assert_eq!(a.total_ops(), b.total_ops());
-        assert_eq!(
-            a.programs[0].segments[0].ops,
-            b.programs[0].segments[0].ops
-        );
+        assert_eq!(a.programs[0].segments[0].ops, b.programs[0].segments[0].ops);
     }
 
     #[test]

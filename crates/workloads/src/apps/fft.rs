@@ -184,10 +184,7 @@ mod tests {
             .filter(|o| !o.write() && !o.private())
             .map(|o| o.addr())
             .collect();
-        let sequential = reads
-            .windows(2)
-            .filter(|w| w[1] == w[0] + 32)
-            .count();
+        let sequential = reads.windows(2).filter(|w| w[1] == w[0] + 32).count();
         assert!(
             sequential * 10 >= reads.len() * 8,
             "transpose reads not sequential enough: {sequential}/{}",

@@ -78,9 +78,7 @@ impl LuParams {
         let k = self.k_dim;
         let mut arena = Arena::new(page_bytes);
         // Block (i, j) occupies one page at index i*K + j.
-        let owners: Vec<usize> = (0..k * k)
-            .map(|idx| self.owner(idx / k, idx % k))
-            .collect();
+        let owners: Vec<usize> = (0..k * k).map(|idx| self.owner(idx / k, idx % k)).collect();
         let matrix = arena.alloc(k * k * page_bytes, |p| NodeId(owners[p as usize] as u16));
         let block_addr = |i: u64, j: u64| matrix.base + (i * k + j) * page_bytes;
 
@@ -92,16 +90,34 @@ impl LuParams {
             for (n, prog) in programs.iter_mut().enumerate() {
                 let mut seg = Segment::new(self.compute_per_op);
                 if self.owner(step, step) == n {
-                    sweep(&mut seg, block_addr(step, step), page_bytes, self.stride, true);
+                    sweep(
+                        &mut seg,
+                        block_addr(step, step),
+                        page_bytes,
+                        self.stride,
+                        true,
+                    );
                 }
                 // Perimeter blocks: owner reads the diagonal and updates.
                 for m in step + 1..k {
                     if self.owner(step, m) == n {
-                        sweep(&mut seg, block_addr(step, step), page_bytes, self.stride, false);
+                        sweep(
+                            &mut seg,
+                            block_addr(step, step),
+                            page_bytes,
+                            self.stride,
+                            false,
+                        );
                         sweep(&mut seg, block_addr(step, m), page_bytes, self.stride, true);
                     }
                     if self.owner(m, step) == n {
-                        sweep(&mut seg, block_addr(step, step), page_bytes, self.stride, false);
+                        sweep(
+                            &mut seg,
+                            block_addr(step, step),
+                            page_bytes,
+                            self.stride,
+                            false,
+                        );
                         sweep(&mut seg, block_addr(m, step), page_bytes, self.stride, true);
                     }
                 }
@@ -120,8 +136,20 @@ impl LuParams {
                             continue;
                         }
                         for _ in 0..self.pivot_reuse.max(1) {
-                            sweep(&mut seg, block_addr(i, step), page_bytes, self.stride, false);
-                            sweep(&mut seg, block_addr(step, j), page_bytes, self.stride, false);
+                            sweep(
+                                &mut seg,
+                                block_addr(i, step),
+                                page_bytes,
+                                self.stride,
+                                false,
+                            );
+                            sweep(
+                                &mut seg,
+                                block_addr(step, j),
+                                page_bytes,
+                                self.stride,
+                                false,
+                            );
                         }
                         sweep(&mut seg, block_addr(i, j), page_bytes, self.stride, true);
                     }

@@ -3,9 +3,9 @@
 
 pub mod barnes;
 pub mod em3d;
-pub mod micro;
 pub mod fft;
 pub mod lu;
+pub mod micro;
 pub mod ocean;
 pub mod radix;
 
@@ -67,9 +67,7 @@ impl App {
     pub fn build(self, size: SizeClass, page_bytes: u64) -> Trace {
         match (self, size) {
             (App::Barnes, SizeClass::Tiny) => barnes::BarnesParams::tiny().build(page_bytes),
-            (App::Barnes, SizeClass::Default) => {
-                barnes::BarnesParams::default().build(page_bytes)
-            }
+            (App::Barnes, SizeClass::Default) => barnes::BarnesParams::default().build(page_bytes),
             (App::Barnes, SizeClass::Paper) => barnes::BarnesParams::paper().build(page_bytes),
             (App::Em3d, SizeClass::Tiny) => em3d::Em3dParams::tiny().build(page_bytes),
             (App::Em3d, SizeClass::Default) => em3d::Em3dParams::default().build(page_bytes),

@@ -87,8 +87,20 @@ impl OceanParams {
             for g in &grids {
                 let my = g.slab(n, self.nodes, page_bytes);
                 // Interior stencil sweep: read + write own rows.
-                sweep(&mut seg, my.base, my.bytes.min(slab_bytes), self.stride, false);
-                sweep(&mut seg, my.base, my.bytes.min(slab_bytes), self.stride, true);
+                sweep(
+                    &mut seg,
+                    my.base,
+                    my.bytes.min(slab_bytes),
+                    self.stride,
+                    false,
+                );
+                sweep(
+                    &mut seg,
+                    my.base,
+                    my.bytes.min(slab_bytes),
+                    self.stride,
+                    true,
+                );
                 // Boundary rows of neighbours (read-only, remote).
                 if n > 0 {
                     let up = g.slab(n - 1, self.nodes, page_bytes);
@@ -97,7 +109,13 @@ impl OceanParams {
                 }
                 if n + 1 < self.nodes {
                     let down = g.slab(n + 1, self.nodes, page_bytes);
-                    sweep(&mut seg, down.base, self.row_bytes.min(down.bytes), 32, false);
+                    sweep(
+                        &mut seg,
+                        down.base,
+                        self.row_bytes.min(down.bytes),
+                        32,
+                        false,
+                    );
                 }
             }
             sweep_private(&mut seg, 0, self.private_bytes, 64, true);

@@ -105,7 +105,11 @@ pub fn trace_stats(trace: &Trace, page_bytes: u64) -> TraceStats {
         page_heat,
         sharing_degree: sharing,
         write_shared_pages: write_shared,
-        barriers: trace.programs.first().map(|p| p.barrier_count() as u64).unwrap_or(0),
+        barriers: trace
+            .programs
+            .first()
+            .map(|p| p.barrier_count() as u64)
+            .unwrap_or(0),
         lock_ops,
     }
 }

@@ -124,7 +124,14 @@ pub fn sweep(seg: &mut Segment, base: u64, bytes: u64, stride: u64, write: bool)
 }
 
 /// Append a strided sweep over a region slice `[offset, offset + bytes)`.
-pub fn sweep_region(seg: &mut Segment, r: Region, offset: u64, bytes: u64, stride: u64, write: bool) {
+pub fn sweep_region(
+    seg: &mut Segment,
+    r: Region,
+    offset: u64,
+    bytes: u64,
+    stride: u64,
+    write: bool,
+) {
     debug_assert!(offset + bytes <= r.bytes);
     sweep(seg, r.base + offset, bytes, stride, write);
 }
@@ -153,7 +160,10 @@ mod tests {
         assert_eq!(r2.base, 4096);
         assert_eq!(r2.bytes, 8192);
         assert_eq!(a.pages(), 3);
-        assert_eq!(a.into_first_toucher(), vec![NodeId(0), NodeId(1), NodeId(1)]);
+        assert_eq!(
+            a.into_first_toucher(),
+            vec![NodeId(0), NodeId(1), NodeId(1)]
+        );
     }
 
     #[test]

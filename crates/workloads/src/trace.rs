@@ -212,7 +212,11 @@ impl std::fmt::Display for TraceError {
             TraceError::ToucherOutOfRange { page } => {
                 write!(f, "page {page}: first toucher out of range")
             }
-            TraceError::BarrierMismatch { node, got, expected } => {
+            TraceError::BarrierMismatch {
+                node,
+                got,
+                expected,
+            } => {
                 write!(f, "node {node}: {got} barriers, node 0 has {expected}")
             }
             TraceError::BadSegmentIndex { node, index } => {
@@ -222,7 +226,10 @@ impl std::fmt::Display for TraceError {
                 write!(f, "node {node}: shared address {addr:#x} out of space")
             }
             TraceError::LockMisuse { node, lock } => {
-                write!(f, "node {node}: lock {lock} misused (double acquire, unheld release, or leak)")
+                write!(
+                    f,
+                    "node {node}: lock {lock} misused (double acquire, unheld release, or leak)"
+                )
             }
         }
     }
@@ -554,7 +561,10 @@ mod tests {
         t.programs[0].schedule.push(ScheduleItem::Run(i));
         assert!(matches!(
             t.try_validate(4096),
-            Err(TraceError::AddressOutOfSpace { node: 0, addr: 4096 })
+            Err(TraceError::AddressOutOfSpace {
+                node: 0,
+                addr: 4096
+            })
         ));
 
         let mut t = good.clone();
@@ -570,8 +580,17 @@ mod tests {
     fn trace_errors_display_usefully() {
         use super::TraceError;
         let msgs = [
-            TraceError::ProgramCount { nodes: 2, programs: 1 }.to_string(),
-            TraceError::BarrierMismatch { node: 1, got: 2, expected: 3 }.to_string(),
+            TraceError::ProgramCount {
+                nodes: 2,
+                programs: 1,
+            }
+            .to_string(),
+            TraceError::BarrierMismatch {
+                node: 1,
+                got: 2,
+                expected: 3,
+            }
+            .to_string(),
             TraceError::LockMisuse { node: 0, lock: 7 }.to_string(),
         ];
         assert!(msgs[0].contains("programs"));

@@ -20,13 +20,7 @@ fn main() {
     );
     println!(
         "{:>6} | {:>9} {:>9} {:>10} {:>16} | {:>9} {:>9}",
-        "press",
-        "AS upgr",
-        "AS fail",
-        "AS raises",
-        "AS thresholds",
-        "RN upgr",
-        "RN dngr"
+        "press", "AS upgr", "AS fail", "AS raises", "AS thresholds", "RN upgr", "RN dngr"
     );
     for p in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let cfg = SimConfig {

@@ -4,6 +4,11 @@
 //! coherence-state/cache-residency correspondence that miss
 //! classification relies on.
 
+// Gated: requires the external `proptest` crate, unavailable in the
+// offline build environment.  Enable with `--features proptests` after
+// restoring the proptest dev-dependency.
+#![cfg(feature = "proptests")]
+
 use ascoma::machine::simulate;
 use ascoma::{Arch, SimConfig};
 use ascoma_sim::NodeId;
@@ -16,7 +21,11 @@ use proptest::prelude::*;
 fn arb_trace() -> impl Strategy<Value = Trace> {
     (2usize..=4, 2u64..=12, 1u32..=3).prop_flat_map(|(nodes, pages, iters)| {
         let ops = proptest::collection::vec(
-            (0u64..pages * 4096, any::<bool>(), proptest::bool::weighted(0.2)),
+            (
+                0u64..pages * 4096,
+                any::<bool>(),
+                proptest::bool::weighted(0.2),
+            ),
             1..120,
         );
         proptest::collection::vec(ops, nodes).prop_map(move |per_node| {

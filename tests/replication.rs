@@ -125,7 +125,10 @@ fn collapse_returns_frames_and_behavior_reverts_to_numa() {
     // After the collapse the scans go remote again; totals must be closer
     // to plain CC-NUMA than in the read-only case.
     assert!(on.miss.remote() > 0);
-    assert!(on.cycles <= off.cycles * 11 / 10, "collapse must not blow up");
+    assert!(
+        on.cycles <= off.cycles * 11 / 10,
+        "collapse must not blow up"
+    );
 }
 
 #[test]

@@ -149,7 +149,11 @@ fn fft_and_ocean_are_insensitive() {
         }
         // S-COMA's high-pressure penalty still shows.
         let s = rel(app, Arch::Scoma, 0.9);
-        assert!(s > 1.08, "{}: S-COMA at 90% should degrade, got {s}", app.name());
+        assert!(
+            s > 1.08,
+            "{}: S-COMA at 90% should degrade, got {s}",
+            app.name()
+        );
     }
 }
 
