@@ -11,6 +11,7 @@
 //! small elsewhere.
 
 use ascoma::machine::simulate;
+use ascoma::parallel::run_indexed;
 use ascoma::{report, Arch, PolicyParams, SimConfig};
 use ascoma_bench::Options;
 
@@ -24,23 +25,30 @@ fn main() {
         let cfg = SimConfig::default();
         let trace = app.build(opts.size, cfg.geometry.page_bytes());
         println!("== {} ==", app.name());
-        for &p in &opts.pressures {
+        // Each pressure's on/off pair fans across the worker pool.
+        let runs = run_indexed(opts.pressures.len() * 2, opts.jobs(), |i| {
             let scoma_first = SimConfig {
-                pressure: p,
+                pressure: opts.pressures[i / 2],
                 ..SimConfig::default()
             };
-            let numa_first = SimConfig {
-                policy: PolicyParams {
-                    ascoma_scoma_first: false,
-                    ..PolicyParams::default()
-                },
-                ..scoma_first
+            let cfg = if i % 2 == 0 {
+                scoma_first
+            } else {
+                SimConfig {
+                    policy: PolicyParams {
+                        ascoma_scoma_first: false,
+                        ..PolicyParams::default()
+                    },
+                    ..scoma_first
+                }
             };
-            let a = simulate(&trace, Arch::AsComa, &scoma_first);
-            let b = simulate(&trace, Arch::AsComa, &numa_first);
+            simulate(&trace, Arch::AsComa, &cfg)
+        });
+        for pair in runs.chunks_exact(2) {
+            let (a, b) = (&pair[0], &pair[1]);
             let gain = (b.cycles as f64 / a.cycles as f64 - 1.0) * 100.0;
-            println!("  scoma-first: {}", report::summary_line(&a));
-            println!("  numa-first : {}", report::summary_line(&b));
+            println!("  scoma-first: {}", report::summary_line(a));
+            println!("  numa-first : {}", report::summary_line(b));
             println!("  S-COMA-first initial allocation wins by {gain:.1}%");
         }
     }

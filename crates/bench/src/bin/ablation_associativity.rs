@@ -21,14 +21,19 @@ fn main() {
         println!("== {} ==", app.name());
         let base = SimConfig::at_pressure(0.3);
         let trace = app.build(SizeClass::Default, base.geometry.page_bytes());
-        let mut cc1 = None;
-        for ways in [1usize, 2, 4] {
+        let all_ways = [1usize, 2, 4];
+        let jobs = ascoma::parallel::effective_jobs(None);
+        let rows = ascoma::parallel::run_indexed(all_ways.len(), jobs, |i| {
             let cfg = SimConfig {
-                l1_ways: ways,
+                l1_ways: all_ways[i],
                 ..base
             };
             let cc = simulate(&trace, Arch::CcNuma, &cfg);
             let asc = simulate(&trace, Arch::AsComa, &cfg);
+            (cc, asc)
+        });
+        let mut cc1 = None;
+        for (ways, (cc, asc)) in all_ways.iter().zip(rows) {
             let cc_rel = *cc1.get_or_insert(cc.cycles) as f64;
             println!(
                 "  {}-way: CC-NUMA {:.3} (vs 1-way)  AS-COMA win {:+.1}%  CC conf/capc {}",

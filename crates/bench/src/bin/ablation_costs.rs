@@ -9,9 +9,13 @@
 //! robust across the whole plausible range.
 
 use ascoma::machine::simulate;
+use ascoma::parallel::run_indexed;
 use ascoma::{Arch, SimConfig};
 use ascoma_bench::Options;
 use ascoma_vm::KernelCosts;
+
+const SCALES: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+const ARCHS: [Arch; 3] = [Arch::CcNuma, Arch::RNuma, Arch::AsComa];
 
 fn main() {
     let mut opts = Options::parse(std::env::args().skip(1));
@@ -27,7 +31,8 @@ fn main() {
             "{:>6} | {:>10} {:>10} {:>10} | {:>16}",
             "scale", "CCNUMA", "RNUMA", "ASCOMA", "ASCOMA vs RNUMA"
         );
-        for scale in [0.5f64, 1.0, 2.0, 4.0] {
+        let runs = run_indexed(SCALES.len() * ARCHS.len(), opts.jobs(), |i| {
+            let scale = SCALES[i / ARCHS.len()];
             let k = KernelCosts::default();
             let cfg = SimConfig {
                 kernel: KernelCosts {
@@ -38,9 +43,10 @@ fn main() {
                 },
                 ..base
             };
-            let cc = simulate(&trace, Arch::CcNuma, &cfg);
-            let r = simulate(&trace, Arch::RNuma, &cfg);
-            let a = simulate(&trace, Arch::AsComa, &cfg);
+            simulate(&trace, ARCHS[i % ARCHS.len()], &cfg)
+        });
+        for (scale, row) in SCALES.iter().zip(runs.chunks_exact(ARCHS.len())) {
+            let (cc, r, a) = (&row[0], &row[1], &row[2]);
             println!(
                 "{:>5.1}x | {:>10} {:>10} {:>10} | ASCOMA {:+.1}% faster",
                 scale,

@@ -23,10 +23,15 @@ fn main() {
             probe.remote_memory,
             probe.remote_local_ratio()
         );
-        for app in [App::Barnes, App::Em3d, App::Radix] {
-            let trace = app.build(SizeClass::Default, cfg.geometry.page_bytes());
+        let apps = [App::Barnes, App::Em3d, App::Radix];
+        let jobs = ascoma::parallel::effective_jobs(None);
+        let rows = ascoma::parallel::run_indexed(apps.len(), jobs, |i| {
+            let trace = apps[i].build(SizeClass::Default, cfg.geometry.page_bytes());
             let cc = simulate(&trace, Arch::CcNuma, &cfg);
             let asc = simulate(&trace, Arch::AsComa, &cfg);
+            (cc, asc)
+        });
+        for (app, (cc, asc)) in apps.iter().zip(rows) {
             println!(
                 "   {:<8} AS-COMA beats CC-NUMA by {:+.1}%",
                 app.name(),

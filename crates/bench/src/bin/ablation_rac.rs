@@ -5,8 +5,11 @@
 //! {0, 512, 2048, 8192} bytes under CC-NUMA.
 
 use ascoma::machine::simulate;
+use ascoma::parallel::run_indexed;
 use ascoma::{report, Arch, SimConfig};
 use ascoma_bench::Options;
+
+const RAC_SIZES: [u64; 4] = [0, 512, 2048, 8192];
 
 fn main() {
     let opts = Options::parse(std::env::args().skip(1));
@@ -15,13 +18,15 @@ fn main() {
         let base = SimConfig::default();
         let trace = app.build(opts.size, base.geometry.page_bytes());
         println!("== {} ==", app.name());
-        let mut baseline = None;
-        for rac_bytes in [0u64, 512, 2048, 8192] {
+        let runs = run_indexed(RAC_SIZES.len(), opts.jobs(), |i| {
             let cfg = SimConfig {
-                rac_bytes,
+                rac_bytes: RAC_SIZES[i],
                 ..SimConfig::default()
             };
-            let r = simulate(&trace, Arch::CcNuma, &cfg);
+            simulate(&trace, Arch::CcNuma, &cfg)
+        });
+        let mut baseline = None;
+        for (rac_bytes, r) in RAC_SIZES.iter().zip(&runs) {
             let rel = match baseline {
                 None => {
                     baseline = Some(r.cycles);
@@ -34,7 +39,7 @@ fn main() {
                 rac_bytes,
                 rel,
                 r.miss.rac,
-                report::summary_line(&r)
+                report::summary_line(r)
             );
         }
     }

@@ -39,10 +39,15 @@ fn main() {
     );
 
     println!("-- the paper's workloads (all shared pages get written) --");
-    for app in App::ALL {
+    let jobs = ascoma::parallel::effective_jobs(None);
+    let rows = ascoma::parallel::run_indexed(App::ALL.len(), jobs, |i| {
+        let app = App::ALL[i];
         let trace = app.build(SizeClass::Default, 4096);
         let off = simulate(&trace, Arch::CcNuma, &cfg(false));
         let on = simulate(&trace, Arch::CcNuma, &cfg(true));
+        (app, off, on)
+    });
+    for (app, off, on) in rows {
         println!(
             "  {:<8} gain {:+.2}%  (replicas {}, collapses {})",
             app.name(),

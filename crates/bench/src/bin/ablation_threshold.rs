@@ -9,8 +9,11 @@
 //! initial choice.
 
 use ascoma::machine::simulate;
+use ascoma::parallel::run_indexed;
 use ascoma::{Arch, PolicyParams, SimConfig};
 use ascoma_bench::Options;
+
+const THRESHOLDS: [u32; 5] = [16, 32, 64, 128, 256];
 
 fn main() {
     let mut opts = Options::parse(std::env::args().skip(1));
@@ -29,30 +32,43 @@ fn main() {
             "{:>9} {:>6} | {:>12} {:>9} | {:>12} {:>9} {:>14}",
             "threshold", "press", "RNUMA cyc", "upgrades", "ASCOMA cyc", "upgrades", "final thresh"
         );
-        for &p in &opts.pressures {
-            for threshold in [16u32, 32, 64, 128, 256] {
-                let cfg = SimConfig {
-                    pressure: p,
-                    policy: PolicyParams {
-                        initial_threshold: threshold,
-                        ..PolicyParams::default()
-                    },
-                    ..base
-                };
-                let r = simulate(&trace, Arch::RNuma, &cfg);
-                let a = simulate(&trace, Arch::AsComa, &cfg);
-                let tmax = a.final_thresholds.iter().max().copied().unwrap_or(0);
-                println!(
-                    "{:>9} {:>5.0}% | {:>12} {:>9} | {:>12} {:>9} {:>14}",
-                    threshold,
-                    p * 100.0,
-                    r.cycles,
-                    r.kernel.upgrades,
-                    a.cycles,
-                    a.kernel.upgrades,
-                    tmax
-                );
-            }
+        // Fan the (pressure, threshold, arch) grid across the worker
+        // pool; reassembly in index order keeps the table rows identical
+        // to the serial sweep.
+        let nt = THRESHOLDS.len();
+        let runs = run_indexed(opts.pressures.len() * nt * 2, opts.jobs(), |i| {
+            let p = opts.pressures[i / (nt * 2)];
+            let threshold = THRESHOLDS[(i / 2) % nt];
+            let cfg = SimConfig {
+                pressure: p,
+                policy: PolicyParams {
+                    initial_threshold: threshold,
+                    ..PolicyParams::default()
+                },
+                ..base
+            };
+            let arch = if i % 2 == 0 {
+                Arch::RNuma
+            } else {
+                Arch::AsComa
+            };
+            simulate(&trace, arch, &cfg)
+        });
+        for (pair, cell) in runs.chunks_exact(2).enumerate() {
+            let (r, a) = (&cell[0], &cell[1]);
+            let p = opts.pressures[pair / nt];
+            let threshold = THRESHOLDS[pair % nt];
+            let tmax = a.final_thresholds.iter().max().copied().unwrap_or(0);
+            println!(
+                "{:>9} {:>5.0}% | {:>12} {:>9} | {:>12} {:>9} {:>14}",
+                threshold,
+                p * 100.0,
+                r.cycles,
+                r.kernel.upgrades,
+                a.cycles,
+                a.kernel.upgrades,
+                tmax
+            );
         }
     }
 }

@@ -1,0 +1,229 @@
+//! Performance baseline harness: times the canonical experiment grid
+//! serially and through the cell-parallel engine, verifies the two are
+//! equivalent, and writes a machine-readable `BENCH_perf.json`.
+//!
+//! ```text
+//! cargo run --release -p ascoma-bench --bin perf_baseline
+//! cargo run --release -p ascoma-bench --bin perf_baseline -- \
+//!     --grid reduced --check --out BENCH_perf.json
+//! ```
+//!
+//! Options:
+//! - `--grid full|reduced` — full is 6 apps x 21 figure cells (the
+//!   paper grid); reduced is 2 apps x 9 cells (CI smoke).
+//! - `--jobs N` — parallel worker count (default `ASCOMA_JOBS`, else
+//!   available parallelism).
+//! - `--check` — exit non-zero unless every parallel `RunResult` is
+//!   field-for-field identical to its serial counterpart.
+//! - `--out PATH` — where to write the JSON (default `BENCH_perf.json`).
+
+use ascoma::experiments::figure_cells;
+use ascoma::parallel::{effective_jobs, run_indexed};
+use ascoma::result::RunResult;
+use ascoma::{simulate, SimConfig};
+use ascoma_workloads::trace::Trace;
+use ascoma_workloads::{App, SizeClass};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    grid: String,
+    jobs: Option<usize>,
+    check: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        grid: "full".into(),
+        jobs: None,
+        check: false,
+        out: "BENCH_perf.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--grid" => {
+                args.grid = it.next().unwrap_or_else(|| die("--grid needs a value"));
+                if args.grid != "full" && args.grid != "reduced" {
+                    die(&format!("unknown grid '{}'", args.grid));
+                }
+            }
+            "--jobs" | "-j" => {
+                let v = it.next().unwrap_or_else(|| die("--jobs needs a value"));
+                args.jobs = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .unwrap_or_else(|| die(&format!("bad job count '{v}'"))),
+                );
+            }
+            "--check" => args.check = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| die("--out needs a value")),
+            "--help" | "-h" => {
+                eprintln!("options: --grid full|reduced --jobs N --check --out PATH");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown option '{other}'")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Run every `(app, arch, pressure)` cell of the grid across `jobs`
+/// workers, apps in order, each app's cells in canonical figure order.
+fn run_grid(
+    traces: &[Trace],
+    cells: &[(ascoma::Arch, f64)],
+    base: &SimConfig,
+    jobs: usize,
+) -> Vec<RunResult> {
+    run_indexed(traces.len() * cells.len(), jobs, |i| {
+        let trace = &traces[i / cells.len()];
+        let (arch, p) = cells[i % cells.len()];
+        let cfg = SimConfig {
+            pressure: p,
+            ..*base
+        };
+        simulate(trace, arch, &cfg)
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let base = SimConfig::default();
+    let (apps, pressures, size) = if args.grid == "full" {
+        (
+            App::ALL.to_vec(),
+            ascoma::experiments::PAPER_PRESSURES.to_vec(),
+            SizeClass::Default,
+        )
+    } else {
+        (vec![App::Em3d, App::Lu], vec![0.1, 0.9], SizeClass::Default)
+    };
+    let jobs = effective_jobs(args.jobs);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cells = figure_cells(&pressures, base.pressure);
+    let ncells = apps.len() * cells.len();
+
+    eprintln!(
+        "perf_baseline: grid={} ({} apps x {} cells = {ncells}), jobs={jobs}, host cores={host_cores}",
+        args.grid,
+        apps.len(),
+        cells.len()
+    );
+
+    let t0 = Instant::now();
+    let traces: Vec<Trace> = apps
+        .iter()
+        .map(|a| a.build(size, base.geometry.page_bytes()))
+        .collect();
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let serial = run_grid(&traces, &cells, &base, 1);
+    let serial_secs = t1.elapsed().as_secs_f64();
+    eprintln!(
+        "serial  : {serial_secs:.3}s ({:.1} cells/s)",
+        ncells as f64 / serial_secs
+    );
+
+    let t2 = Instant::now();
+    let parallel = run_grid(&traces, &cells, &base, jobs);
+    let parallel_secs = t2.elapsed().as_secs_f64();
+    eprintln!(
+        "parallel: {parallel_secs:.3}s ({:.1} cells/s, {jobs} jobs)",
+        ncells as f64 / parallel_secs
+    );
+    let speedup = serial_secs / parallel_secs;
+    eprintln!("speedup : {speedup:.2}x");
+
+    let equivalent = serial == parallel;
+    if args.check && !equivalent {
+        let bad = serial
+            .iter()
+            .zip(&parallel)
+            .position(|(s, p)| s != p)
+            .unwrap_or(0);
+        eprintln!("FAIL: parallel result diverges from serial at cell {bad}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "equivalence: {}",
+        if equivalent { "identical" } else { "DIVERGED" }
+    );
+
+    // Per-layer counters over the whole (serial) grid: how much machine
+    // the harness exercised per wall-second.
+    let sim_cycles: u64 = serial.iter().map(|r| r.cycles).sum();
+    let miss_total: u64 = serial.iter().map(|r| r.miss.total()).sum();
+    let miss_remote: u64 = serial
+        .iter()
+        .map(|r| r.miss.conf_capc + r.miss.coherence)
+        .sum();
+    let miss_scoma: u64 = serial.iter().map(|r| r.miss.scoma).sum();
+    let net_messages: u64 = serial.iter().map(|r| r.net_messages).sum();
+    let upgrades: u64 = serial.iter().map(|r| r.kernel.upgrades).sum();
+    let downgrades: u64 = serial.iter().map(|r| r.kernel.downgrades).sum();
+    let daemon_runs: u64 = serial.iter().map(|r| r.kernel.daemon_runs).sum();
+    let proto_fetches: u64 = serial
+        .iter()
+        .map(|r| r.proto.fetch_local + r.proto.fetch_2hop + r.proto.fetch_3hop)
+        .sum();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"grid\": \"{}\",", args.grid);
+    let _ = writeln!(
+        json,
+        "  \"apps\": [{}],",
+        apps.iter()
+            .map(|a| format!("\"{}\"", a.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"pressures\": [{}],",
+        pressures
+            .iter()
+            .map(|p| format!("{p}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "  \"cells\": {ncells},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"trace_build_secs\": {build_secs:.6},");
+    let _ = writeln!(
+        json,
+        "  \"serial\": {{ \"wall_secs\": {serial_secs:.6}, \"cells_per_sec\": {:.3} }},",
+        ncells as f64 / serial_secs
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel\": {{ \"wall_secs\": {parallel_secs:.6}, \"cells_per_sec\": {:.3} }},",
+        ncells as f64 / parallel_secs
+    );
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"equivalent\": {equivalent},");
+    let _ = writeln!(json, "  \"counters\": {{");
+    let _ = writeln!(json, "    \"sim_cycles\": {sim_cycles},");
+    let _ = writeln!(json, "    \"shared_misses\": {miss_total},");
+    let _ = writeln!(json, "    \"remote_conflict_misses\": {miss_remote},");
+    let _ = writeln!(json, "    \"scoma_page_cache_hits\": {miss_scoma},");
+    let _ = writeln!(json, "    \"net_messages\": {net_messages},");
+    let _ = writeln!(json, "    \"proto_fetches\": {proto_fetches},");
+    let _ = writeln!(json, "    \"page_upgrades\": {upgrades},");
+    let _ = writeln!(json, "    \"page_downgrades\": {downgrades},");
+    let _ = writeln!(json, "    \"daemon_runs\": {daemon_runs}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| die(&format!("write {}: {e}", args.out)));
+    eprintln!("wrote {}", args.out);
+}

@@ -5,8 +5,11 @@
 //! latency rises at 2 levels; per-node home share shrinks).
 
 use ascoma::machine::simulate;
+use ascoma::parallel::{effective_jobs, run_indexed};
 use ascoma::{Arch, SimConfig};
 use ascoma_workloads::apps::em3d::Em3dParams;
+
+const SIZES: [usize; 4] = [4, 8, 16, 32];
 
 fn main() {
     println!("machine-size scaling (em3d-like, 70% pressure)");
@@ -14,7 +17,10 @@ fn main() {
         "{:>6} | {:>12} {:>12} {:>12} | {:>14}",
         "nodes", "CCNUMA", "RNUMA", "ASCOMA", "ASCOMA vs CC"
     );
-    for nodes in [4usize, 8, 16, 32] {
+    // One cell per machine size (trace build + three runs), fanned across
+    // the worker pool (ASCOMA_JOBS honored via effective_jobs).
+    let rows = run_indexed(SIZES.len(), effective_jobs(None), |i| {
+        let nodes = SIZES[i];
         let cfg = SimConfig::at_pressure(0.7);
         let trace = Em3dParams {
             nodes,
@@ -26,6 +32,9 @@ fn main() {
         let cc = simulate(&trace, Arch::CcNuma, &cfg);
         let r = simulate(&trace, Arch::RNuma, &cfg);
         let a = simulate(&trace, Arch::AsComa, &cfg);
+        (nodes, cc, r, a)
+    });
+    for (nodes, cc, r, a) in rows {
         println!(
             "{:>6} | {:>12} {:>12} {:>12} | {:+.1}%",
             nodes,

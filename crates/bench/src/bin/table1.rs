@@ -7,16 +7,14 @@
 //! cargo run --release -p ascoma-bench --bin table1 -- --app em3d --pressure 0.1,0.5,0.9
 //! ```
 
-use ascoma::experiments::run_figure_on;
 use ascoma::{report, SimConfig};
-use ascoma_bench::Options;
+use ascoma_bench::{run_figures_parallel, Options};
 
 fn main() {
     let opts = Options::parse(std::env::args().skip(1));
     let cfg = SimConfig::default();
-    for app in &opts.apps {
-        let trace = app.build(opts.size, cfg.geometry.page_bytes());
-        let data = run_figure_on(&trace, &opts.pressures, &cfg);
+    let figures = run_figures_parallel(&opts, &cfg);
+    for (app, data) in opts.apps.iter().zip(figures) {
         let runs: Vec<_> = data.bars.iter().map(|b| b.run.clone()).collect();
         println!("== {} ==", app.name());
         print!("{}", report::table1(&runs));

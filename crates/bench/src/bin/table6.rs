@@ -2,26 +2,12 @@
 //! the number that conflict frequently enough to be relocated, measured
 //! under R-NUMA at 10% memory pressure.
 
-use ascoma::experiments::run_table6;
 use ascoma::{report, SimConfig};
-use ascoma_bench::Options;
-use std::sync::Mutex;
+use ascoma_bench::{run_table6_parallel, Options};
 
 fn main() {
     let opts = Options::parse(std::env::args().skip(1));
     let cfg = SimConfig::default();
-    let rows = Mutex::new(vec![None; opts.apps.len()]);
-    std::thread::scope(|s| {
-        for (i, app) in opts.apps.iter().enumerate() {
-            let rows = &rows;
-            let cfg = &cfg;
-            let size = opts.size;
-            s.spawn(move || {
-                let row = run_table6(*app, size, cfg);
-                rows.lock().unwrap()[i] = Some(row);
-            });
-        }
-    });
-    let rows: Vec<_> = rows.into_inner().unwrap().into_iter().flatten().collect();
+    let rows = run_table6_parallel(&opts, &cfg);
     print!("{}", report::table6(&rows));
 }

@@ -7,11 +7,10 @@
 //! cargo run --release -p ascoma-bench --bin validate_claims
 //! ```
 
-use ascoma::experiments::run_figure_on;
 use ascoma::{Arch, SimConfig};
+use ascoma_bench::{run_figures_parallel, Options};
 use ascoma_workloads::{App, SizeClass};
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 type Key = (App, Arch, u32);
 
@@ -19,30 +18,27 @@ fn main() {
     let cfg = SimConfig::default();
     let pressures = [0.1, 0.5, 0.7, 0.9];
 
-    // Run the whole cross product in parallel, one thread per app.
-    let results: Mutex<HashMap<Key, f64>> = Mutex::new(HashMap::new());
-    std::thread::scope(|s| {
-        for app in App::ALL {
-            let results = &results;
-            let cfg = &cfg;
-            s.spawn(move || {
-                let trace = app.build(SizeClass::Default, cfg.geometry.page_bytes());
-                let data = run_figure_on(&trace, &pressures, cfg);
-                let mut map = results.lock().unwrap();
-                for bar in &data.bars {
-                    let p = (bar.run.pressure * 100.0).round() as u32;
-                    if bar.run.arch == Arch::CcNuma {
-                        for &pp in &pressures {
-                            map.insert((app, Arch::CcNuma, (pp * 100.0).round() as u32), 1.0);
-                        }
-                    } else {
-                        map.insert((app, bar.run.arch, p), bar.relative_time);
-                    }
+    // Fan every (app, arch, pressure) cell across the shared worker pool.
+    let opts = Options {
+        apps: App::ALL.to_vec(),
+        pressures: pressures.to_vec(),
+        size: SizeClass::Default,
+        ..Options::parse(std::env::args().skip(1))
+    };
+    let figures = run_figures_parallel(&opts, &cfg);
+    let mut r: HashMap<Key, f64> = HashMap::new();
+    for (app, data) in opts.apps.iter().zip(&figures) {
+        for bar in &data.bars {
+            let p = (bar.run.pressure * 100.0).round() as u32;
+            if bar.run.arch == Arch::CcNuma {
+                for &pp in &pressures {
+                    r.insert((*app, Arch::CcNuma, (pp * 100.0).round() as u32), 1.0);
                 }
-            });
+            } else {
+                r.insert((*app, bar.run.arch, p), bar.relative_time);
+            }
         }
-    });
-    let r = results.into_inner().unwrap();
+    }
     let get = |app, arch, p: u32| r[&(app, arch, p)];
 
     let mut pass = 0;

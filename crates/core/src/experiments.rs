@@ -55,29 +55,69 @@ pub fn run_figure(app: App, size: SizeClass, pressures: &[f64], base: &SimConfig
     run_figure_on(&trace, pressures, base)
 }
 
-/// As [`run_figure`], over an already-built trace.
-pub fn run_figure_on(trace: &Trace, pressures: &[f64], base: &SimConfig) -> FigureData {
-    let baseline = simulate(trace, Arch::CcNuma, base);
-    let mut bars = vec![FigureBar {
-        relative_time: 1.0,
-        run: baseline.clone(),
-    }];
+/// The canonical cell list behind one figure: the CC-NUMA baseline first
+/// (at the base config's pressure — CC-NUMA is pressure-independent), then
+/// each hybrid architecture across `pressures`, in chart order.  Both the
+/// serial and the cell-parallel engines enumerate exactly this list, which
+/// is what makes their outputs byte-identical.
+pub fn figure_cells(pressures: &[f64], base_pressure: f64) -> Vec<(Arch, f64)> {
+    let mut cells = vec![(Arch::CcNuma, base_pressure)];
     for arch in [Arch::Scoma, Arch::AsComa, Arch::VcNuma, Arch::RNuma] {
         for &p in pressures {
-            let cfg = SimConfig {
-                pressure: p,
-                ..*base
-            };
-            let run = simulate(trace, arch, &cfg);
-            let relative_time = run.relative_to(&baseline);
-            bars.push(FigureBar { run, relative_time });
+            cells.push((arch, p));
         }
     }
+    cells
+}
+
+/// Assemble a [`FigureData`] from runs in [`figure_cells`] order (the
+/// baseline is `runs[0]`).
+pub fn assemble_figure(app: &str, runs: Vec<RunResult>) -> FigureData {
+    let baseline = runs[0].clone();
+    let bars = runs
+        .into_iter()
+        .enumerate()
+        .map(|(i, run)| {
+            let relative_time = if i == 0 {
+                1.0
+            } else {
+                run.relative_to(&baseline)
+            };
+            FigureBar { run, relative_time }
+        })
+        .collect();
     FigureData {
-        app: trace.name.clone(),
+        app: app.to_string(),
         baseline,
         bars,
     }
+}
+
+/// As [`run_figure`], over an already-built trace.
+pub fn run_figure_on(trace: &Trace, pressures: &[f64], base: &SimConfig) -> FigureData {
+    run_figure_on_jobs(trace, pressures, base, 1)
+}
+
+/// As [`run_figure_on`], fanning the figure's cells across up to `jobs`
+/// worker threads.  Output is byte-identical to the serial path (the same
+/// cells run in the same canonical order of assembly; each cell is a
+/// deterministic function of `(trace, arch, pressure)`).
+pub fn run_figure_on_jobs(
+    trace: &Trace,
+    pressures: &[f64],
+    base: &SimConfig,
+    jobs: usize,
+) -> FigureData {
+    let cells = figure_cells(pressures, base.pressure);
+    let runs = crate::parallel::run_indexed(cells.len(), jobs, |i| {
+        let (arch, p) = cells[i];
+        let cfg = SimConfig {
+            pressure: p,
+            ..*base
+        };
+        simulate(trace, arch, &cfg)
+    });
+    assemble_figure(&trace.name, runs)
 }
 
 /// Table 6: remote-page census under R-NUMA at 10% memory pressure —
@@ -98,14 +138,19 @@ pub struct Table6Row {
 
 /// Run the Table 6 census for one application.
 pub fn run_table6(app: App, size: SizeClass, base: &SimConfig) -> Table6Row {
+    let trace = app.build(size, base.geometry.page_bytes());
+    run_table6_on(&trace, base)
+}
+
+/// As [`run_table6`], over an already-built trace.
+pub fn run_table6_on(trace: &Trace, base: &SimConfig) -> Table6Row {
     let cfg = SimConfig {
         pressure: 0.1,
         ..*base
     };
-    let trace = app.build(size, cfg.geometry.page_bytes());
-    let run = simulate(&trace, Arch::RNuma, &cfg);
+    let run = simulate(trace, Arch::RNuma, &cfg);
     Table6Row {
-        app: trace.name,
+        app: trace.name.clone(),
         total_remote: run.remote_page_node_pairs,
         relocated: run.relocated_page_node_pairs,
         fraction: run.relocated_fraction(),
@@ -113,6 +158,9 @@ pub fn run_table6(app: App, size: SizeClass, base: &SimConfig) -> Table6Row {
 }
 
 /// Run one `(app, arch, pressure)` cell (used by ablations and tests).
+///
+/// Builds the trace from scratch; when sweeping several cells of the same
+/// app, build the trace once and use [`run_cell_on`] instead.
 pub fn run_cell(
     app: App,
     size: SizeClass,
@@ -120,9 +168,14 @@ pub fn run_cell(
     pressure: f64,
     base: &SimConfig,
 ) -> RunResult {
+    let trace = app.build(size, base.geometry.page_bytes());
+    run_cell_on(&trace, arch, pressure, base)
+}
+
+/// Run one `(arch, pressure)` cell over an already-built trace.
+pub fn run_cell_on(trace: &Trace, arch: Arch, pressure: f64, base: &SimConfig) -> RunResult {
     let cfg = SimConfig { pressure, ..*base };
-    let trace = app.build(size, cfg.geometry.page_bytes());
-    simulate(&trace, arch, &cfg)
+    simulate(trace, arch, &cfg)
 }
 
 #[cfg(test)]

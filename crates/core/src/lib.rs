@@ -33,6 +33,7 @@ pub mod chart;
 pub mod config;
 pub mod experiments;
 pub mod machine;
+pub mod parallel;
 pub mod policy;
 pub mod presets;
 pub mod probe;

@@ -75,6 +75,21 @@ struct NodeCtx<'t> {
     at_barrier: bool,
 }
 
+impl NodeCtx<'_> {
+    /// Advance this node's clock, attributing the cycles to `bucket`.
+    #[inline]
+    fn charge(&mut self, bucket: Bucket, cycles: Cycles) {
+        self.clock += cycles;
+        match bucket {
+            Bucket::ShMem => self.exec.u_sh_mem += cycles,
+            Bucket::LcMem => self.exec.u_lc_mem += cycles,
+            Bucket::KBase => self.exec.k_base += cycles,
+            Bucket::KOverhd => self.exec.k_overhd += cycles,
+            Bucket::Instr => self.exec.u_instr += cycles,
+        }
+    }
+}
+
 /// One mutual-exclusion lock (SPLASH-style `LOCK`/`UNLOCK` pairs).
 #[derive(Debug, Default)]
 struct LockState {
@@ -103,6 +118,9 @@ pub struct Machine<'t, S: Sink = NoopSink> {
     proto_stats: ProtoStats,
     barrier_arrivals: Vec<Option<Cycles>>,
     active: usize,
+    /// Nodes currently waiting at the barrier (mirror of the `at_barrier`
+    /// flags, so release checks avoid an O(nodes) scan per arrival).
+    waiting: usize,
     private_base: u64,
     sink: S,
     /// Next global time the periodic sampler fires (u64::MAX = off).
@@ -190,6 +208,7 @@ impl<'t, S: Sink> Machine<'t, S> {
             proto_stats: ProtoStats::default(),
             barrier_arrivals: vec![None; trace.nodes],
             active: trace.nodes,
+            waiting: 0,
             private_base: trace.shared_pages * geo.page_bytes(),
             sink,
             next_sample,
@@ -349,6 +368,7 @@ impl<'t, S: Sink> Machine<'t, S> {
             }
             Some(Op::Barrier) => {
                 self.nodes[n].at_barrier = true;
+                self.waiting += 1;
                 self.barrier_arrivals[n] = Some(self.nodes[n].clock);
                 self.maybe_release_barrier();
             }
@@ -383,23 +403,11 @@ impl<'t, S: Sink> Machine<'t, S> {
 
     #[inline]
     fn charge(&mut self, n: usize, bucket: Bucket, cycles: Cycles) {
-        let node = &mut self.nodes[n];
-        node.clock += cycles;
-        match bucket {
-            Bucket::ShMem => node.exec.u_sh_mem += cycles,
-            Bucket::LcMem => node.exec.u_lc_mem += cycles,
-            Bucket::KBase => node.exec.k_base += cycles,
-            Bucket::KOverhd => node.exec.k_overhd += cycles,
-            Bucket::Instr => node.exec.u_instr += cycles,
-        }
+        self.nodes[n].charge(bucket, cycles);
     }
 
     fn maybe_release_barrier(&mut self) {
-        if self.active == 0 {
-            return;
-        }
-        let waiting = self.nodes.iter().filter(|n| n.at_barrier).count();
-        if waiting < self.active {
+        if self.active == 0 || self.waiting < self.active {
             return;
         }
         let release = self
@@ -419,6 +427,7 @@ impl<'t, S: Sink> Machine<'t, S> {
                 self.nodes[n].exec.sync += wait + cost;
                 self.nodes[n].clock = release + cost;
                 self.nodes[n].at_barrier = false;
+                self.waiting -= 1;
                 self.push(n);
             }
         }
@@ -527,48 +536,62 @@ impl<'t, S: Sink> Machine<'t, S> {
         let node = NodeId(n as u16);
         let block = geo.block_of(addr);
         let page = geo.page_of(addr);
+        let l1_hit = self.cfg.mem.l1_hit;
+
+        // One node borrow covers the TLB, L1 and page-table front end, so
+        // the common path never re-indexes `self.nodes`.
+        let ctx = &mut self.nodes[n];
 
         // TLB lookup (software-filled on the modeled PA-RISC): the fill
         // handler is essential kernel work, charged to K-BASE.
-        if !self.nodes[n].tlb.access(page) {
-            self.charge(n, Bucket::KBase, self.cfg.kernel.tlb_fill);
+        if !ctx.tlb.access(page) {
+            ctx.charge(Bucket::KBase, self.cfg.kernel.tlb_fill);
         }
 
         // L1 probe.
-        if let Lookup::Hit = self.nodes[n].l1.access(addr, write) {
-            self.nodes[n].pt.touch(page);
-            if write && self.cfg.policy.replicate_read_only {
+        if let Lookup::Hit = ctx.l1.access(addr, write) {
+            ctx.pt.touch(page);
+            if !write {
+                // Read hit: no coherence action can follow — the hottest
+                // path in every workload ends here.
+                ctx.charge(Bucket::ShMem, l1_hit);
+                return;
+            }
+            if self.cfg.policy.replicate_read_only {
                 self.collapse_replicas(n, page);
             }
-            if write && self.dir.owner_of(block) != Some(node) {
+            if self.dir.owner_of(block) != Some(node) {
                 // Write hit without exclusivity: permission upgrade.
                 self.permission_upgrade(n, page, block);
             }
-            self.charge(n, Bucket::ShMem, self.cfg.mem.l1_hit);
+            self.charge(n, Bucket::ShMem, l1_hit);
             return;
         }
-        self.charge(n, Bucket::ShMem, self.cfg.mem.l1_hit);
-        self.nodes[n].pt.touch(page);
+        ctx.charge(Bucket::ShMem, l1_hit);
+        let mut mode = ctx.pt.touch_and_mode(page);
 
         // Read-only replication extension: the first write to a
         // replicated page collapses every replica back to CC-NUMA.
         if write && self.cfg.policy.replicate_read_only {
             self.collapse_replicas(n, page);
+            mode = self.nodes[n].pt.mode(page);
         }
 
         // Ensure the page is mapped.
         let home = self.homes[page.0 as usize];
-        if self.nodes[n].pt.mode(page) == PageMode::Unmapped {
+        if mode == PageMode::Unmapped {
             self.handle_fault(n, page, home);
+            mode = self.nodes[n].pt.mode(page);
         }
         // Pure S-COMA: a page evicted to "NUMA" mode is effectively
         // unmapped and must be re-faulted into a frame (this is the
         // thrashing loop that sinks S-COMA at high pressure).
-        if self.arch == Arch::Scoma && self.nodes[n].pt.mode(page) == PageMode::Numa {
+        if self.arch == Arch::Scoma && mode == PageMode::Numa {
             self.scoma_refault(n, page);
+            mode = self.nodes[n].pt.mode(page);
         }
 
-        match self.nodes[n].pt.mode(page) {
+        match mode {
             PageMode::Unmapped => unreachable!("fault established a mapping"),
             PageMode::Home => self.home_miss(n, page, block, addr, write),
             PageMode::Scoma { .. } => self.scoma_miss(n, page, block, addr, write),

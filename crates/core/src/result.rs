@@ -7,7 +7,11 @@ use ascoma_sim::stats::{ExecBreakdown, KernelStats, MissBreakdown, MissLatency};
 use ascoma_sim::Cycles;
 
 /// Everything measured in one `(workload, architecture, pressure)` run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so the parallel experiment engine can be asserted
+/// field-for-field identical to the serial path
+/// (`tests/parallel_equivalence.rs`, `perf_baseline --check`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Architecture simulated.
     pub arch: Arch,

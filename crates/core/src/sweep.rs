@@ -34,6 +34,8 @@ pub struct Sweep<'t> {
     pressures: Vec<f64>,
     /// Optional per-cell configuration hook (applied after pressure).
     mutate: Option<CellHook>,
+    /// Worker threads for `run` (1 = serial).
+    jobs: usize,
 }
 
 /// The results of a sweep, in row-major `(arch, pressure)` order.
@@ -56,7 +58,17 @@ impl<'t> Sweep<'t> {
             archs: Arch::ALL.to_vec(),
             pressures: crate::experiments::PAPER_PRESSURES.to_vec(),
             mutate: None,
+            jobs: 1,
         }
+    }
+
+    /// Fan the sweep's cells across up to `jobs` worker threads (default
+    /// 1 = serial).  The grid is identical either way: cells are
+    /// reassembled in row-major `(arch, pressure)` order and each cell is
+    /// a deterministic function of its configuration.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Restrict the architectures.
@@ -78,21 +90,22 @@ impl<'t> Sweep<'t> {
         self
     }
 
-    /// Run every cell sequentially and collect the grid.
+    /// Run every cell (serially, or across the configured [`Sweep::jobs`]
+    /// workers) and collect the grid in row-major `(arch, pressure)` order.
     pub fn run(self, base: &SimConfig) -> SweepGrid {
-        let mut cells = Vec::with_capacity(self.archs.len() * self.pressures.len());
-        for &arch in &self.archs {
-            for &p in &self.pressures {
-                let mut cfg = SimConfig {
-                    pressure: p,
-                    ..*base
-                };
-                if let Some(f) = &self.mutate {
-                    f(&mut cfg, arch, p);
-                }
-                cells.push(simulate(self.trace, arch, &cfg));
+        let np = self.pressures.len();
+        let cells = crate::parallel::run_indexed(self.archs.len() * np, self.jobs, |i| {
+            let arch = self.archs[i / np];
+            let p = self.pressures[i % np];
+            let mut cfg = SimConfig {
+                pressure: p,
+                ..*base
+            };
+            if let Some(f) = &self.mutate {
+                f(&mut cfg, arch, p);
             }
-        }
+            simulate(self.trace, arch, &cfg)
+        });
         SweepGrid {
             cells,
             archs: self.archs,

@@ -159,6 +159,28 @@ impl DirectMappedCache {
     pub fn access(&mut self, addr: VAddr, write: bool) -> Lookup {
         let a = self.align(addr);
         let base = self.set_of(a);
+        if self.ways == 1 {
+            // Direct-mapped fast path: one candidate slot and no LRU
+            // bookkeeping (stamps are never consulted with a single way).
+            return match &mut self.sets[base] {
+                Some(l) if l.addr == a => {
+                    l.dirty |= write;
+                    self.hits += 1;
+                    Lookup::Hit
+                }
+                Some(l) => {
+                    self.misses += 1;
+                    Lookup::MissConflict(Victim {
+                        addr: VAddr(l.addr),
+                        dirty: l.dirty,
+                    })
+                }
+                None => {
+                    self.misses += 1;
+                    Lookup::MissEmpty
+                }
+            };
+        }
         self.tick += 1;
         if let Some(i) = self.find(base, a) {
             let l = self.sets[i].as_mut().expect("found slot");
@@ -184,6 +206,26 @@ impl DirectMappedCache {
     pub fn fill(&mut self, addr: VAddr, write: bool) -> Option<Victim> {
         let a = self.align(addr);
         let base = self.set_of(a);
+        if self.ways == 1 {
+            let slot = &mut self.sets[base];
+            return match slot {
+                Some(l) if l.addr == a => {
+                    l.dirty |= write;
+                    None
+                }
+                _ => {
+                    let victim = (*slot).map(|l| Victim {
+                        addr: VAddr(l.addr),
+                        dirty: l.dirty,
+                    });
+                    *slot = Some(Line {
+                        addr: a,
+                        dirty: write,
+                    });
+                    victim
+                }
+            };
+        }
         self.tick += 1;
         if let Some(i) = self.find(base, a) {
             // Refill of a resident line keeps (or raises) dirtiness.

@@ -53,7 +53,7 @@ pub struct DaemonEpochRecord {
 }
 
 /// A trace folded into per-page, per-node and per-daemon views.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Summary {
     /// Total events in the trace.
     pub events: usize,

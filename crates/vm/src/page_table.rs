@@ -179,6 +179,15 @@ impl PageTable {
         self.e_mut(page).referenced = true;
     }
 
+    /// Fused [`PageTable::touch`] + [`PageTable::mode`]: one entry lookup
+    /// instead of two on the per-access hot path.
+    #[inline]
+    pub fn touch_and_mode(&mut self, page: VPage) -> PageMode {
+        let e = self.e_mut(page);
+        e.referenced = true;
+        e.mode
+    }
+
     /// Read and clear the reference bit (the pageout daemon's second-chance
     /// step).
     pub fn test_and_clear_referenced(&mut self, page: VPage) -> bool {

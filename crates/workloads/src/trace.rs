@@ -326,6 +326,12 @@ pub struct TraceRunner<'a> {
     program: &'a NodeProgram,
     sched_idx: usize,
     op_idx: usize,
+    /// Ops of the segment currently being replayed (empty between
+    /// segments).  Caching the slice keeps the per-op path to one bounds
+    /// check instead of schedule → segment table → ops re-resolution.
+    cur_ops: &'a [PackedOp],
+    /// `compute_per_op` of the current segment.
+    cur_compute: u32,
 }
 
 /// An operation delivered to the machine.
@@ -359,50 +365,48 @@ impl<'a> TraceRunner<'a> {
             program,
             sched_idx: 0,
             op_idx: 0,
+            cur_ops: &[],
+            cur_compute: 0,
+        }
+    }
+
+    #[inline]
+    fn access(op: PackedOp, pre_compute: u32) -> Op {
+        Op::Access {
+            addr: VAddr(op.addr()),
+            write: op.write(),
+            private: op.private(),
+            pre_compute,
         }
     }
 
     /// The next operation, or `None` when the program is complete.
     #[allow(clippy::should_implement_trait)] // borrowed iterator; keep inherent
+    #[inline]
     pub fn next(&mut self) -> Option<Op> {
+        // Fast path: still inside the current segment.
+        if let Some(&op) = self.cur_ops.get(self.op_idx) {
+            self.op_idx += 1;
+            return Some(Self::access(op, self.cur_compute));
+        }
+        self.cur_ops = &[];
         loop {
             let item = self.program.schedule.get(self.sched_idx)?;
-            match item {
+            self.sched_idx += 1;
+            match *item {
                 ScheduleItem::Run(seg_idx) => {
-                    let seg = &self.program.segments[*seg_idx as usize];
-                    if self.op_idx < seg.ops.len() {
-                        let op = seg.ops[self.op_idx];
-                        self.op_idx += 1;
-                        return Some(Op::Access {
-                            addr: VAddr(op.addr()),
-                            write: op.write(),
-                            private: op.private(),
-                            pre_compute: seg.compute_per_op,
-                        });
+                    let seg = &self.program.segments[seg_idx as usize];
+                    if let Some(&op) = seg.ops.first() {
+                        self.cur_ops = &seg.ops;
+                        self.cur_compute = seg.compute_per_op;
+                        self.op_idx = 1;
+                        return Some(Self::access(op, seg.compute_per_op));
                     }
-                    self.sched_idx += 1;
-                    self.op_idx = 0;
                 }
-                ScheduleItem::Compute(c) => {
-                    self.sched_idx += 1;
-                    self.op_idx = 0;
-                    return Some(Op::Compute(*c));
-                }
-                ScheduleItem::Barrier => {
-                    self.sched_idx += 1;
-                    self.op_idx = 0;
-                    return Some(Op::Barrier);
-                }
-                ScheduleItem::Lock(l) => {
-                    self.sched_idx += 1;
-                    self.op_idx = 0;
-                    return Some(Op::Lock(*l));
-                }
-                ScheduleItem::Unlock(l) => {
-                    self.sched_idx += 1;
-                    self.op_idx = 0;
-                    return Some(Op::Unlock(*l));
-                }
+                ScheduleItem::Compute(c) => return Some(Op::Compute(c)),
+                ScheduleItem::Barrier => return Some(Op::Barrier),
+                ScheduleItem::Lock(l) => return Some(Op::Lock(l)),
+                ScheduleItem::Unlock(l) => return Some(Op::Unlock(l)),
             }
         }
     }

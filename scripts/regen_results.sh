@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Regenerate every committed artifact under results/ from scratch.
 # Usage: scripts/regen_results.sh
+# Worker threads per binary default to the machine's parallelism;
+# override with ASCOMA_JOBS=N (or edit the --jobs flags below).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
+start=$SECONDS
 run() { echo ">> $*" >&2; cargo run --release -q -p ascoma-bench --bin "$@"; }
 
 run figures                      > results/figures.txt
@@ -26,4 +29,5 @@ run ablation_interconnect        > results/ablation_interconnect.txt
 run ablation_associativity       > results/ablation_associativity.txt
 run scaling                      > results/scaling.txt
 run validate_claims              > results/validate_claims.txt
-echo "done; results/ refreshed" >&2
+run perf_baseline -- --check --out BENCH_perf.json
+echo "done; results/ refreshed in $((SECONDS - start))s total wall-clock" >&2

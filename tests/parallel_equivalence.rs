@@ -1,0 +1,106 @@
+//! The parallel engine's determinism contract: fanning cells across
+//! worker threads must produce `RunResult`s field-for-field identical to
+//! the serial path — including threshold trajectories and observability
+//! digests — for every `(app, arch, pressure)` cell.
+
+use ascoma::experiments::{run_figure_on, run_figure_on_jobs};
+use ascoma::machine::simulate_traced;
+use ascoma::parallel::run_indexed;
+use ascoma::sweep::Sweep;
+use ascoma::{Arch, SimConfig};
+use ascoma_workloads::{App, SizeClass};
+
+const APPS: [App; 2] = [App::Em3d, App::Radix];
+const ARCHS: [Arch; 2] = [Arch::AsComa, Arch::RNuma];
+const PRESSURES: [f64; 2] = [0.1, 0.9];
+
+#[test]
+fn parallel_cells_identical_to_serial() {
+    let base = SimConfig::default();
+    for app in APPS {
+        let trace = app.build(SizeClass::Tiny, base.geometry.page_bytes());
+        let cells: Vec<(Arch, f64)> = ARCHS
+            .iter()
+            .flat_map(|&a| PRESSURES.iter().map(move |&p| (a, p)))
+            .collect();
+        let serial: Vec<_> = cells
+            .iter()
+            .map(|&(a, p)| {
+                let cfg = SimConfig {
+                    pressure: p,
+                    ..base
+                };
+                ascoma::simulate(&trace, a, &cfg)
+            })
+            .collect();
+        let parallel = run_indexed(cells.len(), 4, |i| {
+            let (a, p) = cells[i];
+            let cfg = SimConfig {
+                pressure: p,
+                ..base
+            };
+            ascoma::simulate(&trace, a, &cfg)
+        });
+        for ((s, p), &(arch, pressure)) in serial.iter().zip(&parallel).zip(&cells) {
+            // Field-for-field; `RunResult: PartialEq` covers every field
+            // including `threshold_trajectories` and the obs digest.
+            assert_eq!(s, p, "{app:?} {arch:?} @ {pressure}");
+            assert!(!s.threshold_trajectories.is_empty());
+        }
+    }
+}
+
+#[test]
+fn traced_runs_agree_across_workers() {
+    // The obs digest and event stream must also be reproduction-stable
+    // when produced on worker threads.
+    let mut cfg = SimConfig::at_pressure(0.7);
+    cfg.obs_sample_period = 50_000;
+    for app in APPS {
+        let trace = app.build(SizeClass::Tiny, cfg.geometry.page_bytes());
+        let (serial, serial_events) = simulate_traced(&trace, Arch::AsComa, &cfg);
+        let traced = run_indexed(2, 2, |_| simulate_traced(&trace, Arch::AsComa, &cfg));
+        for (r, events) in &traced {
+            assert_eq!(&serial, r, "{app:?} traced run diverged");
+            assert_eq!(&serial_events, events, "{app:?} event stream diverged");
+            assert!(r.obs.is_some() && r.obs == serial.obs);
+        }
+    }
+}
+
+#[test]
+fn figure_engine_identical_across_job_counts() {
+    let base = SimConfig::default();
+    for app in APPS {
+        let trace = app.build(SizeClass::Tiny, base.geometry.page_bytes());
+        let serial = run_figure_on(&trace, &PRESSURES, &base);
+        for jobs in [2, 4, 9] {
+            let par = run_figure_on_jobs(&trace, &PRESSURES, &base, jobs);
+            assert_eq!(serial.app, par.app);
+            assert_eq!(serial.baseline, par.baseline);
+            assert_eq!(serial.bars.len(), par.bars.len());
+            for (a, b) in serial.bars.iter().zip(&par.bars) {
+                assert_eq!(a.run, b.run, "jobs={jobs}");
+                assert_eq!(a.relative_time, b.relative_time, "jobs={jobs}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_jobs_produce_identical_grid() {
+    let base = SimConfig::default();
+    let trace = App::Ocean.build(SizeClass::Tiny, base.geometry.page_bytes());
+    let serial = Sweep::new(&trace)
+        .archs(ARCHS)
+        .pressures(PRESSURES)
+        .run(&base);
+    let parallel = Sweep::new(&trace)
+        .archs(ARCHS)
+        .pressures(PRESSURES)
+        .jobs(4)
+        .run(&base);
+    assert_eq!(serial.cells, parallel.cells);
+    assert_eq!(serial.archs, parallel.archs);
+    assert_eq!(serial.pressures, parallel.pressures);
+}
