@@ -22,7 +22,7 @@ use ascoma::machine::simulate_traced;
 use ascoma::{Arch, SimConfig};
 use ascoma_bench::Options;
 use ascoma_obs::export::{chrome_trace, jsonl_string};
-use ascoma_obs::summarize;
+use ascoma_obs::summarize_lossy;
 use ascoma_workloads::analyze::profile;
 use ascoma_workloads::stats::{render, trace_stats};
 use ascoma_workloads::{App, SizeClass};
@@ -226,12 +226,17 @@ fn print_summary(
     events: &[ascoma_obs::TimedEvent],
     nodes: usize,
 ) {
-    let s = summarize(events, nodes);
+    // Lossy fold: an inspected stream may be truncated (ring buffer,
+    // partial JSONL), so lifecycle breaks are warnings here, not panics.
+    let (s, lifecycle_violations) = summarize_lossy(events, nodes);
     println!(
         "== {name} on {} at {:.0}% pressure ==",
         arch.name(),
         pressure * 100.0
     );
+    for v in &lifecycle_violations {
+        println!("WARNING: illegal page lifecycle: {v}");
+    }
     println!(
         "{} events to cycle {}; {} maps, {} upgrades ({} declined), {} evictions",
         s.events, s.last_cycle, s.maps, s.upgrades, s.declined, s.evictions

@@ -1,0 +1,217 @@
+//! CLI driver for the protocol model checker.
+//!
+//! With no arguments, runs the CI gate: every smoke configuration must
+//! explore completely with zero violations, and every seeded protocol
+//! mutation must be *detected*.  Counterexample traces are written as
+//! JSONL under `--out-dir` (default `counterexamples/`) — on a clean run
+//! only the expected mutation traces appear there.
+//!
+//! A single configuration can be explored explicitly:
+//!
+//! ```text
+//! model_check --nodes 3 --pages 2 --blocks-per-page 1 --ops 2 [--mutation skip-inval]
+//! ```
+
+use ascoma_check::model::{ModelConfig, Mutation};
+use ascoma_check::{explore, ExploreOutcome};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const DEFAULT_MAX_STATES: usize = 4_000_000;
+
+/// The reference configuration mutations are seeded into: big enough to
+/// exercise forwarding, invalidation fan-out and queuing.
+fn mutation_reference() -> ModelConfig {
+    ModelConfig {
+        nodes: 3,
+        pages: 1,
+        blocks_per_page: 1,
+        ops_per_node: 2,
+        mutation: None,
+    }
+}
+
+fn write_trace(dir: &Path, label: &str, jsonl: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("model_check: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{label}.jsonl"));
+    if let Err(e) = std::fs::write(&path, jsonl) {
+        eprintln!("model_check: cannot write {}: {e}", path.display());
+    } else {
+        println!("  trace written to {}", path.display());
+    }
+}
+
+fn report(cfg: &ModelConfig, out: &ExploreOutcome) {
+    println!(
+        "{}: {} states, {} transitions, depth {}{}",
+        cfg.label(),
+        out.states,
+        out.transitions,
+        out.depth,
+        if out.complete { "" } else { " (incomplete)" },
+    );
+}
+
+/// Run one clean configuration; returns false on any violation or an
+/// incomplete exploration.
+fn run_clean(cfg: &ModelConfig, max_states: usize, out_dir: &Path) -> bool {
+    let out = explore(cfg, max_states);
+    report(cfg, &out);
+    if let Some(cex) = &out.violation {
+        println!(
+            "  VIOLATION [{}] {} ({} steps)",
+            cex.invariant,
+            cex.detail,
+            cex.trace.len()
+        );
+        write_trace(out_dir, &cfg.label(), &cex.to_jsonl());
+        return false;
+    }
+    if !out.complete {
+        println!("  INCOMPLETE: state cap {max_states} hit");
+        return false;
+    }
+    true
+}
+
+/// Run one mutated configuration; returns false if the seeded bug is NOT
+/// caught.  The counterexample trace is always written (it documents what
+/// the checker sees when the protocol is broken).
+fn run_mutation(m: Mutation, max_states: usize, out_dir: &Path) -> bool {
+    let cfg = ModelConfig {
+        mutation: Some(m),
+        ..mutation_reference()
+    };
+    let out = explore(&cfg, max_states);
+    report(&cfg, &out);
+    match &out.violation {
+        Some(cex) => {
+            println!(
+                "  detected [{}] {} ({} steps)",
+                cex.invariant,
+                cex.detail,
+                cex.trace.len()
+            );
+            write_trace(out_dir, &cfg.label(), &cex.to_jsonl());
+            true
+        }
+        None => {
+            println!("  NOT DETECTED: mutation {} escaped the checker", m.name());
+            false
+        }
+    }
+}
+
+struct Args {
+    nodes: Option<u8>,
+    pages: u8,
+    blocks_per_page: u8,
+    ops: u8,
+    mutation: Option<Mutation>,
+    max_states: usize,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        nodes: None,
+        pages: 1,
+        blocks_per_page: 1,
+        ops: 2,
+        mutation: None,
+        max_states: DEFAULT_MAX_STATES,
+        out_dir: PathBuf::from("counterexamples"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--nodes" => args.nodes = Some(parse_num(&val("--nodes")?)?),
+            "--pages" => args.pages = parse_num(&val("--pages")?)?,
+            "--blocks-per-page" => args.blocks_per_page = parse_num(&val("--blocks-per-page")?)?,
+            "--ops" => args.ops = parse_num(&val("--ops")?)?,
+            "--max-states" => {
+                args.max_states = val("--max-states")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-states: {e}"))?;
+            }
+            "--mutation" => {
+                let v = val("--mutation")?;
+                args.mutation =
+                    Some(Mutation::parse(&v).ok_or_else(|| format!("unknown mutation {v}"))?);
+            }
+            "--out-dir" => args.out_dir = PathBuf::from(val("--out-dir")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<u8, String> {
+    s.parse().map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("model_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ok = true;
+    match args.nodes {
+        // Explicit single configuration.
+        Some(nodes) => {
+            let cfg = ModelConfig {
+                nodes,
+                pages: args.pages,
+                blocks_per_page: args.blocks_per_page,
+                ops_per_node: args.ops,
+                mutation: args.mutation,
+            };
+            ok = match args.mutation {
+                // A mutated run *passes* when the bug is detected.
+                Some(_) => {
+                    let out = explore(&cfg, args.max_states);
+                    report(&cfg, &out);
+                    match &out.violation {
+                        Some(cex) => {
+                            println!("  detected [{}] {}", cex.invariant, cex.detail);
+                            write_trace(&args.out_dir, &cfg.label(), &cex.to_jsonl());
+                            true
+                        }
+                        None => {
+                            println!("  NOT DETECTED");
+                            false
+                        }
+                    }
+                }
+                None => run_clean(&cfg, args.max_states, &args.out_dir),
+            };
+        }
+        // CI gate: smoke suite + mutation matrix.
+        None => {
+            println!("== clean smoke configurations");
+            for cfg in ModelConfig::smoke_suite() {
+                ok &= run_clean(&cfg, args.max_states, &args.out_dir);
+            }
+            println!("== seeded mutations (must be detected)");
+            for m in Mutation::ALL {
+                ok &= run_mutation(m, args.max_states, &args.out_dir);
+            }
+        }
+    }
+
+    if ok {
+        println!("model_check: OK");
+        ExitCode::SUCCESS
+    } else {
+        println!("model_check: FAILED");
+        ExitCode::FAILURE
+    }
+}

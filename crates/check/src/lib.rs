@@ -1,0 +1,40 @@
+//! Correctness subsystem for the AS-COMA simulator.
+//!
+//! The paper's contribution — S-COMA-first allocation with an adaptive
+//! software back-off (PAPER.md §1) — lives entirely in coupled state
+//! machines: the MSI directory protocol, per-node page-mode transitions,
+//! and frame-pool accounting.  This crate is the layer that *proves* those
+//! machines stay coherent, three ways:
+//!
+//! 1. **Invariant catalog** ([`invariant`], [`checkers`]) — an
+//!    [`Invariant`] trait plus ~10 concrete checkers run against a
+//!    borrowed [`MachineView`] of live simulator state.  The `ascoma`
+//!    core calls [`assert_all`] at barriers and end-of-run (under its
+//!    `check_invariants` config flag), and the layer crates carry
+//!    `debug_assert`-style hooks that compile to nothing in release
+//!    builds unless their `check` feature is enabled.
+//! 2. **Exhaustive model checker** ([`model`], [`explore`]) — a BFS
+//!    explorer that enumerates *every* message-delivery interleaving of a
+//!    small-configuration directory protocol (2–3 nodes, a handful of
+//!    blocks), asserts protocol invariants in every reachable state, and
+//!    reports a minimal counterexample trace when one fails.
+//! 3. **Mutation self-tests** ([`model::Mutation`]) — known protocol bugs
+//!    (skip a sharer invalidation, drop an invalidation ack, serve stale
+//!    memory instead of forwarding to the dirty owner) are injectable so
+//!    the test suite can assert the checker actually catches them.
+//!
+//! The lint/sanitizer half of the correctness gate is `scripts/check.sh`
+//! at the repository root (clippy wall, unwrap/expect lint, formatting).
+
+#![warn(missing_docs)]
+
+pub mod checkers;
+pub mod explore;
+pub mod invariant;
+pub mod model;
+pub mod view;
+
+pub use explore::{explore, Counterexample, ExploreOutcome};
+pub use invariant::{assert_all, catalog, check_all, Invariant, Violation};
+pub use model::{ModelConfig, Mutation};
+pub use view::{MachineView, NodeView};

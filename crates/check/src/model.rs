@@ -1,0 +1,811 @@
+//! A small-configuration, message-level model of the directory protocol.
+//!
+//! The live simulator resolves each miss synchronously (the network model
+//! charges cycles but never holds protocol state in flight), so it cannot
+//! exhibit reordering bugs.  This module models the *asynchronous* MSI
+//! directory protocol the hardware would run — individual `Fetch`,
+//! `Forward`, `Inval`, `Data`, ack and unblock messages with arbitrary
+//! delivery order — so [`crate::explore`] can enumerate every
+//! interleaving and check protocol invariants in every reachable state.
+//!
+//! The protocol modeled is a blocking-home MSI directory (the same family
+//! as the simulator's [`ascoma_proto::Directory`], made explicit about
+//! messages):
+//!
+//! * A home serves one transaction per block at a time; requests arriving
+//!   while `busy` queue in FIFO order, and the requester's final
+//!   `Unblock` releases the home.  This mirrors the paper's DSM
+//!   controller, which holds a pending request in the RAC until the
+//!   transaction completes.
+//! * Reads of a dirty block forward to the owner, who writes back home
+//!   (`WbData`) and keeps a shared copy; the home then answers with
+//!   `Data`.
+//! * Writes invalidate every sharer; each sharer acks *the requester*
+//!   (`InvalAck`), and the requester completes only when data and all
+//!   acks have arrived.
+//!
+//! Data values are abstracted to per-block version numbers: every
+//! completed write increments `latest[block]`, and value coherence means
+//! a completed read observes exactly `latest` — any interleaving that
+//! lets a stale version survive or be served is a violation.
+//!
+//! [`Mutation`] injects known protocol bugs so the checker can be tested
+//! against itself (see `tests/model_checker.rs`).
+
+/// Size and mutation parameters for one exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Number of nodes (2–3 is exhaustive-friendly).
+    pub nodes: u8,
+    /// Number of pages (pages only group blocks for reporting; the
+    /// protocol unit is the block).
+    pub pages: u8,
+    /// Blocks per page.
+    pub blocks_per_page: u8,
+    /// Operations (completed reads/writes) each node may issue.
+    pub ops_per_node: u8,
+    /// Protocol bug to inject, if any.
+    pub mutation: Option<Mutation>,
+}
+
+impl ModelConfig {
+    /// Total protocol blocks.
+    pub fn blocks(&self) -> u8 {
+        self.pages * self.blocks_per_page
+    }
+
+    /// A short human label, e.g. `3n-2p-1b` (+ mutation suffix).
+    pub fn label(&self) -> String {
+        let base = format!(
+            "{}n-{}p-{}b-{}ops",
+            self.nodes, self.pages, self.blocks_per_page, self.ops_per_node
+        );
+        match self.mutation {
+            Some(m) => format!("{base}-{}", m.name()),
+            None => base,
+        }
+    }
+
+    /// The CI smoke suite: every configuration here is explored
+    /// exhaustively (they are sized to stay well under a million states).
+    pub fn smoke_suite() -> Vec<ModelConfig> {
+        let cfg = |nodes, pages, blocks_per_page, ops_per_node| ModelConfig {
+            nodes,
+            pages,
+            blocks_per_page,
+            ops_per_node,
+            mutation: None,
+        };
+        vec![
+            cfg(2, 1, 1, 2),
+            cfg(2, 2, 1, 2),
+            cfg(2, 1, 2, 2),
+            cfg(2, 2, 2, 1),
+            cfg(3, 1, 1, 2),
+            cfg(3, 2, 1, 1),
+        ]
+    }
+}
+
+/// A deliberately injected protocol bug (checker self-test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The home "forgets" to invalidate one sharer on a write fetch (and
+    /// does not count its ack).  A stale shared copy survives the write —
+    /// caught by directory–cache agreement and version coherence.
+    SkipInvalidation,
+    /// A sharer invalidates its copy but never acknowledges.  The writer
+    /// can never complete — caught by the request-conservation/deadlock
+    /// invariant once the network drains.
+    DropInvalAck,
+    /// The home serves a read from (stale) memory instead of forwarding
+    /// to the dirty owner — caught by the read-completion version check.
+    SkipOwnerForward,
+}
+
+impl Mutation {
+    /// All mutations, for the self-test matrix.
+    pub const ALL: [Mutation; 3] = [
+        Mutation::SkipInvalidation,
+        Mutation::DropInvalAck,
+        Mutation::SkipOwnerForward,
+    ];
+
+    /// Stable identifier used in labels and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::SkipInvalidation => "skip-inval",
+            Mutation::DropInvalAck => "drop-ack",
+            Mutation::SkipOwnerForward => "skip-forward",
+        }
+    }
+
+    /// Parse a [`Mutation::name`] back.
+    pub fn parse(s: &str) -> Option<Mutation> {
+        Mutation::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+/// MSI cache state of one block at one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CState {
+    /// Invalid.
+    I,
+    /// Shared (clean copy).
+    S,
+    /// Modified (exclusive dirty copy).
+    M,
+}
+
+/// A protocol message in flight.  The `net` is an unordered multiset:
+/// any message may be delivered at any time, which is exactly the
+/// reordering freedom the checker explores.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Msg {
+    /// `src` requests `block` from its home (`write` = needs exclusivity).
+    Fetch {
+        /// Requesting node.
+        src: u8,
+        /// Requested block.
+        block: u8,
+        /// Write intent.
+        write: bool,
+    },
+    /// Home forwards the request to the dirty `owner`.
+    Forward {
+        /// Current dirty owner (the recipient).
+        owner: u8,
+        /// Original requester.
+        req: u8,
+        /// Requested block.
+        block: u8,
+        /// Write intent.
+        write: bool,
+        /// Invalidation acks the requester must additionally collect.
+        acks: u8,
+    },
+    /// Owner writes dirty data back home (read-forward path).
+    WbData {
+        /// Block written back.
+        block: u8,
+        /// The owner's data version.
+        version: u8,
+    },
+    /// Data grant to the requester.
+    Data {
+        /// Recipient (the requester).
+        dst: u8,
+        /// Granted block.
+        block: u8,
+        /// Data version carried.
+        version: u8,
+        /// Invalidation acks the requester must collect before completing.
+        acks: u8,
+    },
+    /// Invalidate `dst`'s copy; ack goes to `req`.
+    Inval {
+        /// Sharer being invalidated.
+        dst: u8,
+        /// Block being invalidated.
+        block: u8,
+        /// Requester to acknowledge.
+        req: u8,
+    },
+    /// Invalidation acknowledgement to `dst` (the requester).
+    InvalAck {
+        /// Recipient (the write requester).
+        dst: u8,
+        /// Acked block.
+        block: u8,
+    },
+    /// Requester releases the home's transaction lock on `block`.
+    Unblock {
+        /// Block whose home unblocks.
+        block: u8,
+    },
+}
+
+/// An outstanding miss at one node (one per node, as in the simulator's
+/// blocking processor model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pending {
+    /// Block being fetched.
+    pub block: u8,
+    /// Write intent.
+    pub write: bool,
+    /// Data grant received.
+    pub has_data: bool,
+    /// Version carried by the data grant.
+    pub version: u8,
+    /// Acks required before completion.
+    pub acks_needed: u8,
+    /// Acks received so far.
+    pub acks_got: u8,
+}
+
+/// One node: per-block MSI state + version, the outstanding miss, and the
+/// operation budget consumed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeState {
+    /// `(state, version)` per block.
+    pub cache: Vec<(CState, u8)>,
+    /// Outstanding miss, if any.
+    pub pending: Option<Pending>,
+    /// Completed operations.
+    pub ops_done: u8,
+}
+
+/// Directory entry + transaction serialization state for one block's home.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HomeEntry {
+    /// Sharer bitmask.
+    pub copyset: u8,
+    /// Dirty owner, if any.
+    pub owner: Option<u8>,
+    /// A transaction is in flight (home is blocking).
+    pub busy: bool,
+    /// The active transaction's `(requester, write)` while busy.
+    pub waiting: Option<(u8, bool)>,
+    /// Requests that arrived while busy, FIFO.
+    pub queue: Vec<(u8, bool)>,
+    /// Version stored in home memory.
+    pub mem_version: u8,
+}
+
+/// One global protocol state.  `net` is kept sorted so structurally equal
+/// states hash identically (canonical form).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    /// Per-node caches and outstanding misses.
+    pub nodes: Vec<NodeState>,
+    /// Per-block home directory entries.
+    pub home: Vec<HomeEntry>,
+    /// In-flight messages (sorted multiset).
+    pub net: Vec<Msg>,
+    /// Latest committed version per block.
+    pub latest: Vec<u8>,
+}
+
+/// One transition: a node issuing an operation, or a message delivery.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Node `node` issues a read (`write == false`) or write to `block`.
+    Issue {
+        /// Issuing node.
+        node: u8,
+        /// Target block.
+        block: u8,
+        /// Write intent.
+        write: bool,
+    },
+    /// Deliver one in-flight message.
+    Deliver(
+        /// The message delivered.
+        Msg,
+    ),
+}
+
+impl Action {
+    /// Render as a JSON object (one line of a counterexample trace).
+    pub fn to_json(&self, step: usize) -> String {
+        match self {
+            Action::Issue { node, block, write } => format!(
+                "{{\"step\":{step},\"action\":\"issue\",\"node\":{node},\"block\":{block},\"write\":{write}}}"
+            ),
+            Action::Deliver(m) => format!(
+                "{{\"step\":{step},\"action\":\"deliver\",\"msg\":{}}}",
+                msg_json(m)
+            ),
+        }
+    }
+}
+
+fn msg_json(m: &Msg) -> String {
+    match *m {
+        Msg::Fetch { src, block, write } => {
+            format!("{{\"kind\":\"Fetch\",\"src\":{src},\"block\":{block},\"write\":{write}}}")
+        }
+        Msg::Forward {
+            owner,
+            req,
+            block,
+            write,
+            acks,
+        } => format!(
+            "{{\"kind\":\"Forward\",\"owner\":{owner},\"req\":{req},\"block\":{block},\"write\":{write},\"acks\":{acks}}}"
+        ),
+        Msg::WbData { block, version } => {
+            format!("{{\"kind\":\"WbData\",\"block\":{block},\"version\":{version}}}")
+        }
+        Msg::Data {
+            dst,
+            block,
+            version,
+            acks,
+        } => format!(
+            "{{\"kind\":\"Data\",\"dst\":{dst},\"block\":{block},\"version\":{version},\"acks\":{acks}}}"
+        ),
+        Msg::Inval { dst, block, req } => {
+            format!("{{\"kind\":\"Inval\",\"dst\":{dst},\"block\":{block},\"req\":{req}}}")
+        }
+        Msg::InvalAck { dst, block } => {
+            format!("{{\"kind\":\"InvalAck\",\"dst\":{dst},\"block\":{block}}}")
+        }
+        Msg::Unblock { block } => format!("{{\"kind\":\"Unblock\",\"block\":{block}}}"),
+    }
+}
+
+impl State {
+    /// The initial state: all caches invalid, all homes idle, version 0
+    /// everywhere, empty network.
+    pub fn initial(cfg: &ModelConfig) -> State {
+        let blocks = cfg.blocks() as usize;
+        State {
+            nodes: vec![
+                NodeState {
+                    cache: vec![(CState::I, 0); blocks],
+                    pending: None,
+                    ops_done: 0,
+                };
+                cfg.nodes as usize
+            ],
+            home: vec![
+                HomeEntry {
+                    copyset: 0,
+                    owner: None,
+                    busy: false,
+                    waiting: None,
+                    queue: Vec::new(),
+                    mem_version: 0,
+                };
+                blocks
+            ],
+            net: Vec::new(),
+            latest: vec![0; blocks],
+        }
+    }
+
+    fn push_msg(&mut self, m: Msg) {
+        let pos = self.net.partition_point(|x| x <= &m);
+        self.net.insert(pos, m);
+    }
+}
+
+/// All transitions enabled in `s`.  Local read hits are omitted (they
+/// change no protocol state); local writes in `M` are included (they
+/// advance the committed version).
+pub fn enabled_actions(cfg: &ModelConfig, s: &State) -> Vec<Action> {
+    let mut acts = Vec::new();
+    for (n, node) in s.nodes.iter().enumerate() {
+        if node.pending.is_some() || node.ops_done >= cfg.ops_per_node {
+            continue;
+        }
+        for b in 0..cfg.blocks() {
+            let (cs, _) = node.cache[b as usize];
+            // Read: only a miss changes state.
+            if cs == CState::I {
+                acts.push(Action::Issue {
+                    node: n as u8,
+                    block: b,
+                    write: false,
+                });
+            }
+            // Write: local commit in M, protocol transaction otherwise.
+            acts.push(Action::Issue {
+                node: n as u8,
+                block: b,
+                write: true,
+            });
+        }
+    }
+    let mut prev: Option<&Msg> = None;
+    for m in &s.net {
+        // net is sorted, so duplicates are adjacent: deliver each distinct
+        // message once (delivering either duplicate reaches the same state).
+        if prev != Some(m) {
+            acts.push(Action::Deliver(m.clone()));
+        }
+        prev = Some(m);
+    }
+    acts
+}
+
+/// Apply `action` to `s`.  Returns the successor state, or `Err` with a
+/// violation description when the transition itself is illegal (stale
+/// read completion, forward to a non-owner, unexpected message).
+pub fn apply(cfg: &ModelConfig, s: &State, action: &Action) -> Result<State, String> {
+    let mut t = s.clone();
+    match action {
+        Action::Issue { node, block, write } => {
+            let n = *node as usize;
+            let b = *block as usize;
+            let (cs, _) = t.nodes[n].cache[b];
+            if *write && cs == CState::M {
+                // Local write hit: commit a new version, no messages.
+                t.latest[b] += 1;
+                t.nodes[n].cache[b] = (CState::M, t.latest[b]);
+                t.nodes[n].ops_done += 1;
+            } else {
+                t.nodes[n].pending = Some(Pending {
+                    block: *block,
+                    write: *write,
+                    has_data: false,
+                    version: 0,
+                    acks_needed: 0,
+                    acks_got: 0,
+                });
+                t.push_msg(Msg::Fetch {
+                    src: *node,
+                    block: *block,
+                    write: *write,
+                });
+            }
+        }
+        Action::Deliver(m) => {
+            remove_msg(&mut t, m)?;
+            deliver(cfg, &mut t, m)?;
+        }
+    }
+    Ok(t)
+}
+
+fn remove_msg(t: &mut State, m: &Msg) -> Result<(), String> {
+    match t.net.iter().position(|x| x == m) {
+        Some(i) => {
+            t.net.remove(i);
+            Ok(())
+        }
+        None => Err(format!("delivered message not in flight: {m:?}")),
+    }
+}
+
+fn deliver(cfg: &ModelConfig, t: &mut State, m: &Msg) -> Result<(), String> {
+    match *m {
+        Msg::Fetch { src, block, write } => {
+            let b = block as usize;
+            if t.home[b].busy {
+                t.home[b].queue.push((src, write));
+            } else {
+                process_fetch(cfg, t, block, src, write)?;
+            }
+        }
+        Msg::Forward {
+            owner,
+            req,
+            block,
+            write,
+            acks,
+        } => {
+            let o = owner as usize;
+            let b = block as usize;
+            let (cs, ver) = t.nodes[o].cache[b];
+            if cs != CState::M {
+                return Err(format!(
+                    "forward-to-non-owner: node {owner} is {cs:?} for block {block}"
+                ));
+            }
+            if write {
+                // Ownership transfers requester-ward; the old owner's copy
+                // dies with the transfer.
+                t.nodes[o].cache[b] = (CState::I, 0);
+                t.push_msg(Msg::Data {
+                    dst: req,
+                    block,
+                    version: ver,
+                    acks,
+                });
+            } else {
+                // Owner downgrades to shared and writes back home; the
+                // home answers the requester once the writeback lands.
+                t.nodes[o].cache[b] = (CState::S, ver);
+                t.push_msg(Msg::WbData {
+                    block,
+                    version: ver,
+                });
+            }
+        }
+        Msg::WbData { block, version } => {
+            let b = block as usize;
+            t.home[b].mem_version = version;
+            let (req, write) = t.home[b]
+                .waiting
+                .ok_or_else(|| format!("writeback for block {block} with no waiting requester"))?;
+            if write {
+                return Err(format!(
+                    "writeback for block {block} during a write transaction"
+                ));
+            }
+            t.push_msg(Msg::Data {
+                dst: req,
+                block,
+                version,
+                acks: 0,
+            });
+        }
+        Msg::Data {
+            dst,
+            block,
+            version,
+            acks,
+        } => {
+            let n = dst as usize;
+            let p = t.nodes[n]
+                .pending
+                .as_mut()
+                .ok_or_else(|| format!("data grant to node {dst} with no pending miss"))?;
+            if p.block != block {
+                return Err(format!(
+                    "data grant for block {block} but node {dst} is waiting on {}",
+                    p.block
+                ));
+            }
+            p.has_data = true;
+            p.version = version;
+            p.acks_needed = acks;
+            try_complete(t, n)?;
+        }
+        Msg::Inval { dst, block, req } => {
+            let n = dst as usize;
+            let b = block as usize;
+            let (cs, _) = t.nodes[n].cache[b];
+            if cs == CState::M {
+                return Err(format!(
+                    "invalidation aimed at dirty owner {dst} of block {block}"
+                ));
+            }
+            t.nodes[n].cache[b] = (CState::I, 0);
+            if cfg.mutation != Some(Mutation::DropInvalAck) {
+                t.push_msg(Msg::InvalAck { dst: req, block });
+            }
+        }
+        Msg::InvalAck { dst, block } => {
+            let n = dst as usize;
+            let p = t.nodes[n]
+                .pending
+                .as_mut()
+                .ok_or_else(|| format!("inval ack to node {dst} with no pending miss"))?;
+            if p.block != block || !p.write {
+                return Err(format!(
+                    "inval ack for block {block} does not match node {dst}'s pending miss"
+                ));
+            }
+            p.acks_got += 1;
+            try_complete(t, n)?;
+        }
+        Msg::Unblock { block } => {
+            let b = block as usize;
+            t.home[b].busy = false;
+            t.home[b].waiting = None;
+            if !t.home[b].queue.is_empty() {
+                let (src, write) = t.home[b].queue.remove(0);
+                process_fetch(cfg, t, block, src, write)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Home-side transaction start: the directory action for one fetch.
+fn process_fetch(
+    cfg: &ModelConfig,
+    t: &mut State,
+    block: u8,
+    req: u8,
+    write: bool,
+) -> Result<(), String> {
+    let b = block as usize;
+    t.home[b].busy = true;
+    t.home[b].waiting = Some((req, write));
+    let owner = t.home[b].owner;
+    if write {
+        let mut targets = t.home[b].copyset & !(1u8 << req);
+        if let Some(o) = owner {
+            // The owner is forwarded to, not invalidated.
+            targets &= !(1u8 << o);
+        }
+        if cfg.mutation == Some(Mutation::SkipInvalidation) && targets != 0 {
+            // Injected bug: "forget" the lowest-numbered sharer.
+            let skip = targets.trailing_zeros() as u8;
+            targets &= !(1u8 << skip);
+        }
+        let acks = targets.count_ones() as u8;
+        for dst in 0..cfg.nodes {
+            if targets & (1u8 << dst) != 0 {
+                t.push_msg(Msg::Inval { dst, block, req });
+            }
+        }
+        match owner {
+            Some(o) if o != req => {
+                t.push_msg(Msg::Forward {
+                    owner: o,
+                    req,
+                    block,
+                    write: true,
+                    acks,
+                });
+            }
+            Some(_) => {
+                return Err(format!(
+                    "write fetch from node {req} which the directory already records as owner of block {block}"
+                ));
+            }
+            None => {
+                t.push_msg(Msg::Data {
+                    dst: req,
+                    block,
+                    version: t.home[b].mem_version,
+                    acks,
+                });
+            }
+        }
+        t.home[b].copyset = 1u8 << req;
+        t.home[b].owner = Some(req);
+    } else {
+        match owner {
+            Some(o) if o != req && cfg.mutation != Some(Mutation::SkipOwnerForward) => {
+                t.home[b].owner = None;
+                t.push_msg(Msg::Forward {
+                    owner: o,
+                    req,
+                    block,
+                    write: false,
+                    acks: 0,
+                });
+            }
+            Some(o) if o == req => {
+                return Err(format!(
+                    "read fetch from node {req} which the directory already records as owner of block {block}"
+                ));
+            }
+            _ => {
+                // No owner — or the injected SkipOwnerForward bug, where
+                // the home serves stale memory while an owner exists.
+                t.push_msg(Msg::Data {
+                    dst: req,
+                    block,
+                    version: t.home[b].mem_version,
+                    acks: 0,
+                });
+            }
+        }
+        t.home[b].copyset |= 1u8 << req;
+    }
+    Ok(())
+}
+
+fn try_complete(t: &mut State, n: usize) -> Result<(), String> {
+    let Some(p) = t.nodes[n].pending else {
+        return Ok(());
+    };
+    if !p.has_data || p.acks_got < p.acks_needed {
+        return Ok(());
+    }
+    let b = p.block as usize;
+    if p.write {
+        t.latest[b] += 1;
+        t.nodes[n].cache[b] = (CState::M, t.latest[b]);
+    } else {
+        if p.version != t.latest[b] {
+            return Err(format!(
+                "stale read: node {n} completes a read of block {} with version {} but latest is {}",
+                p.block, p.version, t.latest[b]
+            ));
+        }
+        t.nodes[n].cache[b] = (CState::S, p.version);
+    }
+    t.nodes[n].pending = None;
+    t.nodes[n].ops_done += 1;
+    t.push_msg(Msg::Unblock { block: p.block });
+    Ok(())
+}
+
+/// Check every state invariant of the protocol model.  Returns the first
+/// violation as `(invariant, detail)`.
+pub fn check_state(cfg: &ModelConfig, s: &State) -> Result<(), (&'static str, String)> {
+    for b in 0..cfg.blocks() as usize {
+        // SWMR: a dirty owner excludes every other copy.
+        let mut owners = 0u32;
+        let mut sharers = 0u32;
+        for node in &s.nodes {
+            match node.cache[b].0 {
+                CState::M => owners += 1,
+                CState::S => sharers += 1,
+                CState::I => {}
+            }
+        }
+        if owners > 1 || (owners == 1 && sharers > 0) {
+            return Err((
+                "swmr",
+                format!("block {b}: {owners} owners and {sharers} sharers coexist"),
+            ));
+        }
+        // Version coherence: every live copy holds the latest committed
+        // version (sharers during an in-flight write still do — the write
+        // commits only after their invalidation acks).
+        for (n, node) in s.nodes.iter().enumerate() {
+            let (cs, ver) = node.cache[b];
+            if cs != CState::I && ver != s.latest[b] {
+                return Err((
+                    "version-coherence",
+                    format!(
+                        "node {n} holds block {b} ({cs:?}) at version {ver}, latest is {}",
+                        s.latest[b]
+                    ),
+                ));
+            }
+        }
+        // Directory-cache agreement: a live copy is in the copyset, or the
+        // message that will kill it is still in flight — an `Inval` aimed
+        // at the node, or a `Forward` about to take the old owner's copy
+        // (a write handoff repoints the directory at the requester before
+        // the forward reaches the old owner).
+        for (n, node) in s.nodes.iter().enumerate() {
+            let (cs, _) = node.cache[b];
+            if cs == CState::I {
+                continue;
+            }
+            let in_copyset = s.home[b].copyset & (1u8 << n) != 0;
+            let inval_in_flight = s.net.iter().any(
+                |m| matches!(m, Msg::Inval { dst, block, .. } if *dst as usize == n && *block as usize == b),
+            );
+            let handoff_in_flight = s.net.iter().any(
+                |m| matches!(m, Msg::Forward { owner, block, .. } if *owner as usize == n && *block as usize == b),
+            );
+            if !in_copyset && !inval_in_flight && !handoff_in_flight {
+                return Err((
+                    "directory-cache-agreement",
+                    format!("node {n} holds block {b} ({cs:?}) outside the copyset with no invalidation or handoff in flight"),
+                ));
+            }
+        }
+        // Owner validity: the recorded owner is dirty or still completing
+        // its write.
+        if let Some(o) = s.home[b].owner {
+            let node = &s.nodes[o as usize];
+            let dirty = node.cache[b].0 == CState::M;
+            let completing = matches!(
+                node.pending,
+                Some(p) if p.block as usize == b && p.write
+            );
+            let handoff_in_flight = s.net.iter().any(|m| {
+                matches!(m, Msg::Fetch { src, block, write: true } if *src == o && *block as usize == b)
+            });
+            if !dirty && !completing && !handoff_in_flight {
+                return Err((
+                    "owner-validity",
+                    format!(
+                        "directory owner {o} of block {b} neither dirty nor completing a write"
+                    ),
+                ));
+            }
+        }
+    }
+    // Request conservation: an empty network with an outstanding miss can
+    // never make progress — every request must eventually be matched by
+    // replies.
+    if s.net.is_empty() {
+        for (n, node) in s.nodes.iter().enumerate() {
+            if let Some(p) = node.pending {
+                let queued = s.home[p.block as usize]
+                    .queue
+                    .iter()
+                    .any(|&(src, _)| src as usize == n);
+                let active = s.home[p.block as usize]
+                    .waiting
+                    .map(|(src, _)| src as usize)
+                    == Some(n);
+                // A queued request is only live if the active transaction
+                // can still complete; with an empty net it cannot.
+                let _ = (queued, active);
+                return Err((
+                    "request-conservation",
+                    format!(
+                        "network drained with node {n} still waiting on block {} (deadlock)",
+                        p.block
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}

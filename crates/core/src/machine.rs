@@ -21,6 +21,7 @@
 use crate::config::{Arch, SimConfig};
 use crate::policy::{adjust_period, FrameSource, MapChoice, PolicyState};
 use crate::result::RunResult;
+use ascoma_check::{assert_all, MachineView, NodeView};
 use ascoma_mem::cache::{DirectMappedCache, Lookup};
 use ascoma_mem::timing::LocalMemory;
 use ascoma_net::{Network, Topology};
@@ -289,67 +290,67 @@ impl<'t, S: Sink> Machine<'t, S> {
         }
     }
 
-    /// Machine-wide invariants tying the substrates together.  These are
-    /// what the miss classification relies on:
-    ///
-    /// 1. An S-COMA valid bit implies directory copyset membership (data
-    ///    cached locally is always tracked at the home).
-    /// 2. A block's dirty owner is always in its copyset.
-    /// 3. Per node: free frames + S-COMA-resident pages = page-cache
-    ///    capacity (no frame leaks through remap/relocation/daemon paths).
-    /// 4. Replicas only exist on never-written pages, S-COMA-mapped at
-    ///    their holders.
+    /// Machine-wide invariants tying the substrates together: SWMR
+    /// ownership, directory–cache agreement, frame conservation and
+    /// ownership, mode/residency consistency, replica legality and
+    /// threshold-trajectory legality.  Delegates to the full
+    /// `ascoma-check` catalog (DESIGN.md §13 documents each invariant);
+    /// runs at barriers and end-of-run when
+    /// [`SimConfig::check_invariants`] is set, where the machine is
+    /// quiescent and strict equalities must hold.
     pub fn check_invariants(&self) {
-        let geo = self.cfg.geometry;
-        for (n, ctx) in self.nodes.iter().enumerate() {
-            let node = NodeId(n as u16);
-            // (3) frame accounting.
-            assert_eq!(
-                ctx.pool.free_count() + ctx.pt.scoma_count() as u32,
-                ctx.pool.cache_frames(),
-                "node {n}: frame leak (free {} + resident {} != capacity {})",
-                ctx.pool.free_count(),
-                ctx.pt.scoma_count(),
+        assert_all(&self.view());
+    }
+
+    /// Pack borrows of the checkable state into the shape the
+    /// `ascoma-check` catalog inspects.
+    fn view(&self) -> MachineView<'_> {
+        MachineView {
+            geometry: self.cfg.geometry,
+            shared_pages: self.trace.shared_pages,
+            dir: &self.dir,
+            homes: &self.homes,
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(n, ctx)| NodeView {
+                    id: NodeId(n as u16),
+                    pt: &ctx.pt,
+                    pool: &ctx.pool,
+                    threshold: ctx.pol.threshold(),
+                    relocation_disabled: ctx.pol.relocation_disabled(),
+                    // The trajectory's first entry is the cycle-0 initial
+                    // value, not a change; the view wants changes only.
+                    trajectory: &ctx.trajectory[1..],
+                })
+                .collect(),
+            initial_threshold: self.cfg.policy.initial_threshold,
+            threshold_cap: self.cfg.policy.threshold_cap,
+            threshold_adaptive: self.arch == Arch::VcNuma
+                || (self.arch == Arch::AsComa && self.cfg.policy.ascoma_backoff),
+            threshold_capped: self.arch == Arch::AsComa && self.cfg.policy.ascoma_backoff,
+            uses_page_cache: self.arch != Arch::CcNuma || self.cfg.policy.replicate_read_only,
+        }
+    }
+
+    /// Per-mutation frame-accounting hook (debug / `check` builds): after
+    /// any path that maps, unmaps or relocates a page on node `n`, free
+    /// frames plus S-COMA-resident pages must again cover the page-cache
+    /// partition exactly.  O(1), so it runs after every fault.
+    #[inline]
+    #[allow(unused_variables)]
+    fn debug_check_frames(&self, n: usize) {
+        #[cfg(any(debug_assertions, feature = "check"))]
+        {
+            let ctx = &self.nodes[n];
+            let free = ctx.pool.free_count();
+            let resident = ctx.pt.scoma_count() as u32;
+            assert!(
+                free + resident == ctx.pool.cache_frames(),
+                "node {n}: frame leak (free {free} + resident {resident} != capacity {})",
                 ctx.pool.cache_frames()
             );
-            // (1) valid bit => copyset membership.
-            for &page in ctx.pt.scoma_pages() {
-                for b in 0..geo.blocks_per_page() {
-                    if ctx.pt.block_valid(page, b) {
-                        let block = geo.block_id(page, b);
-                        assert!(
-                            self.dir.in_copyset(node, block),
-                            "node {n}: valid S-COMA block {block:?} of {page} not in copyset"
-                        );
-                    }
-                }
-            }
-        }
-        // (2) owners are sharers; (4) replica constraints.
-        for page in 0..self.trace.shared_pages {
-            let page = VPage(page);
-            for b in 0..geo.blocks_per_page() {
-                let block = geo.block_id(page, b);
-                if let Some(o) = self.dir.owner_of(block) {
-                    assert!(
-                        self.dir.in_copyset(o, block),
-                        "owner {o} of block {block:?} not in its copyset"
-                    );
-                }
-            }
-            let replicas = self.dir.replicas_of(page);
-            if !replicas.is_empty() {
-                assert!(
-                    !self.dir.page_written(page),
-                    "replicated page {page} has been written"
-                );
-                for r in replicas.iter() {
-                    assert!(
-                        self.nodes[r.idx()].pt.mode(page).is_scoma(),
-                        "replica holder {r} of {page} not S-COMA-mapped"
-                    );
-                }
-            }
         }
     }
 
@@ -581,6 +582,7 @@ impl<'t, S: Sink> Machine<'t, S> {
         let home = self.homes[page.0 as usize];
         if mode == PageMode::Unmapped {
             self.handle_fault(n, page, home);
+            self.debug_check_frames(n);
             mode = self.nodes[n].pt.mode(page);
         }
         // Pure S-COMA: a page evicted to "NUMA" mode is effectively
@@ -588,6 +590,7 @@ impl<'t, S: Sink> Machine<'t, S> {
         // thrashing loop that sinks S-COMA at high pressure).
         if self.arch == Arch::Scoma && mode == PageMode::Numa {
             self.scoma_refault(n, page);
+            self.debug_check_frames(n);
             mode = self.nodes[n].pt.mode(page);
         }
 
@@ -749,6 +752,7 @@ impl<'t, S: Sink> Machine<'t, S> {
                 );
             }
             self.relocate(n, page);
+            self.debug_check_frames(n);
         }
     }
 
@@ -914,6 +918,7 @@ impl<'t, S: Sink> Machine<'t, S> {
                     },
                 );
             }
+            self.debug_check_frames(n);
         }
         if holders.is_empty() {
             return;
@@ -946,6 +951,9 @@ impl<'t, S: Sink> Machine<'t, S> {
                     },
                 );
             }
+        }
+        for o in holders.iter() {
+            self.debug_check_frames(o.idx());
         }
         // Shoot-down round trip charged to the writer.
         let now = self.nodes[n].clock;
@@ -1126,6 +1134,7 @@ impl<'t, S: Sink> Machine<'t, S> {
             self.nodes[n].pool.release(frame);
             self.nodes[n].kstats.pages_reclaimed += 1;
         }
+        self.debug_check_frames(n);
         let before = self.nodes[n].pol.threshold();
         let adj = self.nodes[n].pol.on_daemon_result(out.reached_target);
         self.note_threshold_change(n, before);

@@ -63,8 +63,6 @@ where
     let workers = jobs.min(n);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
     std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
@@ -82,12 +80,35 @@ where
             });
         }
         drop(tx);
-        for (i, r) in rx {
-            out[i] = Some(r);
-        }
-    });
+        assemble(n, rx)
+    })
+}
+
+/// Slot `(index, result)` pairs back into canonical index order.
+///
+/// The reassembly half of [`run_indexed`], split out so the
+/// arrival-order permutation tests (`tests/parallel_perm.rs`, feature
+/// `permtests`) can drive it with every possible completion order and
+/// assert the output is identical to the serial path.
+///
+/// # Panics
+///
+/// If an index is out of range, duplicated, or missing — all of which
+/// would be worker-pool bugs, never data-dependent conditions.
+pub fn assemble<R>(n: usize, results: impl IntoIterator<Item = (usize, R)>) -> Vec<R> {
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for (i, r) in results {
+        assert!(i < n, "result index {i} out of range for {n} items");
+        assert!(out[i].is_none(), "duplicate result for index {i}");
+        out[i] = Some(r);
+    }
     out.into_iter()
-        .map(|r| r.expect("every index produced a result"))
+        .enumerate()
+        .map(|(i, r)| match r {
+            Some(r) => r,
+            None => panic!("no result for index {i}"),
+        })
         .collect()
 }
 

@@ -15,7 +15,7 @@
 //!     .pressures([0.1, 0.9])
 //!     .run(&SimConfig::default());
 //! assert_eq!(grid.cells.len(), 4);
-//! let best = grid.best();
+//! let best = grid.best().unwrap();
 //! assert!(grid.cells.iter().all(|c| c.cycles >= best.cycles));
 //! ```
 
@@ -125,20 +125,14 @@ impl SweepGrid {
         self.cells.get(ai * self.pressures.len() + pi)
     }
 
-    /// The fastest cell.
-    pub fn best(&self) -> &RunResult {
-        self.cells
-            .iter()
-            .min_by_key(|r| r.cycles)
-            .expect("sweep has at least one cell")
+    /// The fastest cell (`None` only for an empty grid).
+    pub fn best(&self) -> Option<&RunResult> {
+        self.cells.iter().min_by_key(|r| r.cycles)
     }
 
-    /// The slowest cell.
-    pub fn worst(&self) -> &RunResult {
-        self.cells
-            .iter()
-            .max_by_key(|r| r.cycles)
-            .expect("sweep has at least one cell")
+    /// The slowest cell (`None` only for an empty grid).
+    pub fn worst(&self) -> Option<&RunResult> {
+        self.cells.iter().max_by_key(|r| r.cycles)
     }
 
     /// CSV of `arch,pressure,cycles,k_overhd,upgrades,downgrades`.
@@ -214,8 +208,8 @@ mod tests {
         let g = Sweep::new(&t)
             .pressures([0.1, 0.9])
             .run(&SimConfig::default());
-        let best = g.best().cycles;
-        let worst = g.worst().cycles;
+        let best = g.best().unwrap().cycles;
+        let worst = g.worst().unwrap().cycles;
         assert!(g.cells.iter().all(|c| (best..=worst).contains(&c.cycles)));
     }
 

@@ -116,14 +116,43 @@ impl DirectMappedCache {
     /// The slot to fill in a set: an empty way, else the LRU way.
     #[inline]
     fn victim_slot(&self, base: usize) -> usize {
+        let mut lru = base;
         for i in base..base + self.ways {
             if self.sets[i].is_none() {
                 return i;
             }
+            if self.stamps[i] < self.stamps[lru] {
+                lru = i;
+            }
         }
-        (base..base + self.ways)
-            .min_by_key(|&i| self.stamps[i])
-            .expect("ways >= 1")
+        lru
+    }
+
+    /// Apply `f` to the resident line for `a`, returning its way index —
+    /// the mutable counterpart of [`Self::find`] (shaped as a visitor so
+    /// no `Option` unwrap is needed on the hit path).
+    #[inline]
+    fn touch_line(&mut self, base: usize, a: u64, f: impl FnOnce(&mut Line)) -> Option<usize> {
+        for i in base..base + self.ways {
+            if let Some(l) = &mut self.sets[i] {
+                if l.addr == a {
+                    f(l);
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// Remove and return the resident line for `a`, if any.
+    #[inline]
+    fn take_line(&mut self, base: usize, a: u64) -> Option<Line> {
+        for i in base..base + self.ways {
+            if matches!(self.sets[i], Some(l) if l.addr == a) {
+                return self.sets[i].take();
+            }
+        }
+        None
     }
 
     #[inline]
@@ -182,9 +211,7 @@ impl DirectMappedCache {
             };
         }
         self.tick += 1;
-        if let Some(i) = self.find(base, a) {
-            let l = self.sets[i].as_mut().expect("found slot");
-            l.dirty |= write;
+        if let Some(i) = self.touch_line(base, a, |l| l.dirty |= write) {
             self.stamps[i] = self.tick;
             self.hits += 1;
             return Lookup::Hit;
@@ -227,10 +254,8 @@ impl DirectMappedCache {
             };
         }
         self.tick += 1;
-        if let Some(i) = self.find(base, a) {
-            // Refill of a resident line keeps (or raises) dirtiness.
-            let l = self.sets[i].as_mut().expect("found slot");
-            l.dirty |= write;
+        // Refill of a resident line keeps (or raises) dirtiness.
+        if let Some(i) = self.touch_line(base, a, |l| l.dirty |= write) {
             self.stamps[i] = self.tick;
             return None;
         }
@@ -244,6 +269,7 @@ impl DirectMappedCache {
             dirty: write,
         });
         self.stamps[slot] = self.tick;
+        self.debug_validate_set(base);
         victim
     }
 
@@ -251,9 +277,7 @@ impl DirectMappedCache {
     pub fn mark_dirty(&mut self, addr: VAddr) {
         let a = self.align(addr);
         let base = self.set_of(a);
-        if let Some(i) = self.find(base, a) {
-            self.sets[i].as_mut().expect("found slot").dirty = true;
-        }
+        self.touch_line(base, a, |l| l.dirty = true);
     }
 
     /// Invalidate every resident line within the aligned byte range
@@ -273,13 +297,11 @@ impl DirectMappedCache {
         let mut a = start;
         while a < base.0 + span_bytes {
             let set = self.set_of(a);
-            if let Some(i) = self.find(set, a) {
-                let l = self.sets[i].expect("found slot");
+            if let Some(l) = self.take_line(set, a) {
                 invalidated += 1;
                 if l.dirty {
                     dirty += 1;
                 }
-                self.sets[i] = None;
             }
             a += self.line_bytes;
         }
@@ -309,6 +331,56 @@ impl DirectMappedCache {
     /// (hits, misses) recorded by [`Self::access`].
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Structural rules for one set (O(ways)).
+    fn set_error(&self, base: usize) -> Option<String> {
+        for i in base..base + self.ways {
+            let Some(l) = self.sets[i] else { continue };
+            if l.addr & (self.line_bytes - 1) != 0 {
+                return Some(format!("slot {i} holds unaligned address {:#x}", l.addr));
+            }
+            if self.set_of(l.addr) != base {
+                return Some(format!(
+                    "slot {i} holds address {:#x} belonging to set base {}",
+                    l.addr,
+                    self.set_of(l.addr)
+                ));
+            }
+            for j in base..i {
+                if matches!(self.sets[j], Some(o) if o.addr == l.addr) {
+                    return Some(format!(
+                        "address {:#x} resident in two ways ({j} and {i})",
+                        l.addr
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Structural self-check over every set: resident lines are aligned,
+    /// live in the set their address maps to, and no address occupies two
+    /// ways.  For barrier-time and test probes.
+    pub fn validate(&self) -> Result<(), String> {
+        let nsets = self.sets.len() / self.ways;
+        for s in 0..nsets {
+            if let Some(e) = self.set_error(s * self.ways) {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-fill set hook: active in debug builds and `check`-feature
+    /// builds, compiled out otherwise.
+    #[inline]
+    #[allow(unused_variables)]
+    fn debug_validate_set(&self, base: usize) {
+        #[cfg(any(debug_assertions, feature = "check"))]
+        if let Some(e) = self.set_error(base) {
+            panic!("cache set invariant violated: {e}");
+        }
     }
 }
 

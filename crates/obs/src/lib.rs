@@ -32,4 +32,7 @@ pub mod summary;
 
 pub use event::{BackoffKind, Event, EvictCause, MapMode, TimedEvent};
 pub use sink::{JsonlSink, NoopSink, RingSink, Sink, VecSink};
-pub use summary::{summarize, DaemonEpochRecord, PageLifecycle, Summary, ThresholdStep};
+pub use summary::{
+    summarize, summarize_lossy, DaemonEpochRecord, LifecycleViolation, PageLifecycle, Summary,
+    ThresholdStep,
+};

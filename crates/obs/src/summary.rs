@@ -3,9 +3,10 @@
 //! epoch records — the analysis behind `inspect trace --summary` and
 //! the optional digest attached to `RunResult`.
 
-use crate::event::{BackoffKind, Event, TimedEvent};
+use crate::event::{BackoffKind, Event, MapMode, TimedEvent};
 use ascoma_sim::Cycles;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// One point on a node's refetch-threshold trajectory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,14 +100,75 @@ impl Summary {
     }
 }
 
+/// An illegal page-lifecycle transition found while folding a trace:
+/// an eviction of a page that holds no frame (double free / evict before
+/// map), a second frame granted to a page already holding one, or an
+/// upgrade of a page that was never mapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifecycleViolation {
+    /// Node clock of the offending event.
+    pub cycle: Cycles,
+    /// Node the event belongs to.
+    pub node: u16,
+    /// Page the event belongs to.
+    pub page: u64,
+    /// What rule the event broke.
+    pub detail: String,
+}
+
+impl fmt::Display for LifecycleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: node {} page {}: {}",
+            self.cycle, self.node, self.page, self.detail
+        )
+    }
+}
+
+/// Per-(node, page) legality state while folding a stream.
+#[derive(Default, Clone, Copy)]
+struct PageState {
+    /// The pair has been mapped at least once (any mode).
+    mapped: bool,
+    /// The pair currently holds an S-COMA frame.
+    frame: bool,
+}
+
 /// Fold `events` into a [`Summary`].  `nodes` sizes the per-node
 /// trajectory table; events from nodes `>= nodes` grow it as needed.
+///
+/// # Panics
+///
+/// On an illegal page-lifecycle sequence — an `Evicted` before any
+/// frame-granting map, a second frame granted without an eviction in
+/// between, a refault of a never-mapped page.  A full event stream from
+/// one run must be legal; use [`summarize_lossy`] for truncated traces
+/// (ring buffers, partial JSONL files) where a cut-off prefix makes
+/// such sequences expected.
 pub fn summarize(events: &[TimedEvent], nodes: usize) -> Summary {
+    let (s, violations) = fold(events, nodes);
+    if let Some(v) = violations.first() {
+        panic!("illegal page lifecycle in event stream: {v}");
+    }
+    s
+}
+
+/// Like [`summarize`], but collects lifecycle violations instead of
+/// panicking — for traces with a truncated prefix, where the stream may
+/// legitimately open mid-lifecycle.
+pub fn summarize_lossy(events: &[TimedEvent], nodes: usize) -> (Summary, Vec<LifecycleViolation>) {
+    fold(events, nodes)
+}
+
+fn fold(events: &[TimedEvent], nodes: usize) -> (Summary, Vec<LifecycleViolation>) {
     let mut s = Summary {
         events: events.len(),
         thresholds: vec![Vec::new(); nodes],
         ..Summary::default()
     };
+    let mut violations: Vec<LifecycleViolation> = Vec::new();
+    let mut life: BTreeMap<(u16, u64), PageState> = BTreeMap::new();
 
     fn touch(
         pages: &mut BTreeMap<(u16, u64), PageLifecycle>,
@@ -128,13 +190,60 @@ pub fn summarize(events: &[TimedEvent], nodes: usize) -> Summary {
             s.transitions += 1;
         }
         match te.event {
-            Event::PageMapped { node, page, .. } => {
+            Event::PageMapped { node, page, mode } => {
                 touch(&mut s.pages, node.0, page.0, te.cycle).maps += 1;
                 s.maps += 1;
+                let st = life.entry((node.0, page.0)).or_default();
+                let grants_frame = matches!(
+                    mode,
+                    MapMode::Scoma | MapMode::ScomaRefault | MapMode::Replica
+                );
+                if st.frame {
+                    violations.push(LifecycleViolation {
+                        cycle: te.cycle,
+                        node: node.0,
+                        page: page.0,
+                        detail: format!("mapped {mode:?} while already holding a frame"),
+                    });
+                } else if st.mapped && mode != MapMode::ScomaRefault {
+                    violations.push(LifecycleViolation {
+                        cycle: te.cycle,
+                        node: node.0,
+                        page: page.0,
+                        detail: format!("mapped {mode:?} twice without a refault"),
+                    });
+                } else if !st.mapped && mode == MapMode::ScomaRefault {
+                    violations.push(LifecycleViolation {
+                        cycle: te.cycle,
+                        node: node.0,
+                        page: page.0,
+                        detail: "refault of a never-mapped page".to_string(),
+                    });
+                }
+                st.mapped = true;
+                st.frame = grants_frame;
             }
             Event::PageUpgraded { node, page, .. } => {
                 touch(&mut s.pages, node.0, page.0, te.cycle).upgrades += 1;
                 s.upgrades += 1;
+                let st = life.entry((node.0, page.0)).or_default();
+                if !st.mapped {
+                    violations.push(LifecycleViolation {
+                        cycle: te.cycle,
+                        node: node.0,
+                        page: page.0,
+                        detail: "upgraded before any map".to_string(),
+                    });
+                } else if st.frame {
+                    violations.push(LifecycleViolation {
+                        cycle: te.cycle,
+                        node: node.0,
+                        page: page.0,
+                        detail: "upgraded while already holding a frame".to_string(),
+                    });
+                }
+                st.mapped = true;
+                st.frame = true;
             }
             Event::UpgradeDeclined { node, page } => {
                 touch(&mut s.pages, node.0, page.0, te.cycle).declined += 1;
@@ -143,6 +252,20 @@ pub fn summarize(events: &[TimedEvent], nodes: usize) -> Summary {
             Event::PageEvicted { node, page, .. } => {
                 touch(&mut s.pages, node.0, page.0, te.cycle).evictions += 1;
                 s.evictions += 1;
+                let st = life.entry((node.0, page.0)).or_default();
+                if !st.frame {
+                    violations.push(LifecycleViolation {
+                        cycle: te.cycle,
+                        node: node.0,
+                        page: page.0,
+                        detail: if st.mapped {
+                            "evicted with no frame held (double free)".to_string()
+                        } else {
+                            "evicted before any map".to_string()
+                        },
+                    });
+                }
+                st.frame = false;
             }
             Event::RefetchCrossing { .. } => s.crossings += 1,
             Event::ThresholdBackoff { node, to, kind, .. } => {
@@ -183,7 +306,7 @@ pub fn summarize(events: &[TimedEvent], nodes: usize) -> Summary {
             | Event::NetSample { .. } => {}
         }
     }
-    s
+    (s, violations)
 }
 
 #[cfg(test)]
@@ -298,6 +421,123 @@ mod tests {
         assert_eq!(s.events, 0);
         assert_eq!(s.relocated_pairs(), 0);
         assert_eq!(s.thresholds.len(), 4);
+    }
+
+    fn at(cycle: Cycles, event: Event) -> TimedEvent {
+        TimedEvent { cycle, event }
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted before any map")]
+    fn strict_summarize_rejects_evict_before_map() {
+        let evs = [at(
+            3,
+            Event::PageEvicted {
+                node: NodeId(0),
+                page: VPage(1),
+                cause: EvictCause::Daemon,
+            },
+        )];
+        let _ = summarize(&evs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn strict_summarize_rejects_double_eviction() {
+        let evict = Event::PageEvicted {
+            node: NodeId(0),
+            page: VPage(1),
+            cause: EvictCause::Daemon,
+        };
+        let evs = [
+            at(
+                1,
+                Event::PageMapped {
+                    node: NodeId(0),
+                    page: VPage(1),
+                    mode: MapMode::Scoma,
+                },
+            ),
+            at(2, evict),
+            at(3, evict),
+        ];
+        let _ = summarize(&evs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holding a frame")]
+    fn strict_summarize_rejects_double_frame_grant() {
+        let evs = [
+            at(
+                1,
+                Event::PageMapped {
+                    node: NodeId(0),
+                    page: VPage(1),
+                    mode: MapMode::Scoma,
+                },
+            ),
+            at(
+                2,
+                Event::PageUpgraded {
+                    node: NodeId(0),
+                    page: VPage(1),
+                    threshold: 64,
+                },
+            ),
+        ];
+        let _ = summarize(&evs, 1);
+    }
+
+    #[test]
+    fn refault_cycle_is_legal() {
+        // Pure S-COMA churn: map, evict, refault, evict again.
+        let evict = Event::PageEvicted {
+            node: NodeId(0),
+            page: VPage(1),
+            cause: EvictCause::Daemon,
+        };
+        let evs = [
+            at(
+                1,
+                Event::PageMapped {
+                    node: NodeId(0),
+                    page: VPage(1),
+                    mode: MapMode::Scoma,
+                },
+            ),
+            at(2, evict),
+            at(
+                3,
+                Event::PageMapped {
+                    node: NodeId(0),
+                    page: VPage(1),
+                    mode: MapMode::ScomaRefault,
+                },
+            ),
+            at(4, evict),
+        ];
+        let s = summarize(&evs, 1);
+        assert_eq!(s.maps, 2);
+        assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn lossy_summarize_collects_instead_of_panicking() {
+        // A ring-truncated trace that opens mid-lifecycle.
+        let evs = [at(
+            9,
+            Event::PageEvicted {
+                node: NodeId(2),
+                page: VPage(5),
+                cause: EvictCause::Victim,
+            },
+        )];
+        let (s, violations) = summarize_lossy(&evs, 4);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].node, 2);
+        assert_eq!(violations[0].page, 5);
+        assert!(violations[0].to_string().contains("evicted before any map"));
     }
 
     #[test]

@@ -173,6 +173,7 @@ impl Directory {
             self.refetch[slot]
         };
 
+        self.debug_validate_entry(block);
         FetchOutcome {
             class,
             forward_from,
@@ -202,6 +203,7 @@ impl Directory {
                     dirty += 1;
                 }
                 e.induced.insert(node);
+                self.debug_validate_entry(b);
             }
         }
         (dropped, dirty)
@@ -224,6 +226,7 @@ impl Directory {
         let invalidate = e.copyset.without(node);
         e.copyset = NodeSet::single(node);
         e.owner = Some(node);
+        self.debug_validate_entry(block);
         invalidate
     }
 
@@ -240,6 +243,7 @@ impl Directory {
         if e.owner == Some(node) {
             e.owner = None;
         }
+        self.debug_validate_entry(block);
     }
 
     /// Current refetch counter for `(page, node)`.
@@ -262,6 +266,11 @@ impl Directory {
     /// Whether `node` currently holds a tracked copy of `block`.
     pub fn in_copyset(&self, node: NodeId, block: BlockId) -> bool {
         self.blocks[block.0 as usize].copyset.contains(node)
+    }
+
+    /// The full copyset of `block` (invariant checking / inspection).
+    pub fn copyset_of(&self, block: BlockId) -> NodeSet {
+        self.blocks[block.0 as usize].copyset
     }
 
     /// The dirty owner of `block`, if any.
@@ -323,6 +332,70 @@ impl Directory {
         // copyset (1 bit/node) + ever/induced bookkeeping is simulator-side;
         // hardware cost = copyset + owner + dirty.
         self.nodes as u32 + 6 + 1
+    }
+
+    /// Structural self-check of one block entry.  Returns the first
+    /// violated rule, if any.
+    fn entry_error(&self, b: usize) -> Option<String> {
+        let e = &self.blocks[b];
+        if let Some(o) = e.owner {
+            if e.copyset != NodeSet::single(o) {
+                return Some(format!(
+                    "block {b}: owner {o} but copyset {:?} (exclusivity broken)",
+                    e.copyset
+                ));
+            }
+        }
+        for set in [e.copyset, e.induced] {
+            for n in set.iter() {
+                if n.idx() >= self.nodes {
+                    return Some(format!("block {b}: out-of-range node {n} tracked"));
+                }
+                if !e.ever.contains(n) {
+                    return Some(format!(
+                        "block {b}: node {n} tracked without ever having fetched"
+                    ));
+                }
+            }
+        }
+        for n in e.induced.iter() {
+            if e.copyset.contains(n) {
+                return Some(format!(
+                    "block {b}: node {n} both in copyset and induced-cold"
+                ));
+            }
+        }
+        None
+    }
+
+    /// Full-directory structural self-check: per-entry rules (owner
+    /// exclusivity, membership ⊆ ever-fetched, induced ∩ copyset empty,
+    /// node range) plus replica bookkeeping (replicated pages are
+    /// unwritten).  `O(blocks × nodes)` — meant for barrier-time and
+    /// test probes, not per-access paths.
+    pub fn validate(&self) -> Result<(), String> {
+        for b in 0..self.blocks.len() {
+            if let Some(e) = self.entry_error(b) {
+                return Err(e);
+            }
+        }
+        for (p, holders) in self.replicas.iter().enumerate() {
+            if !holders.is_empty() && self.page_written[p] {
+                return Err(format!("page {p}: written page still holds replicas"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-mutation entry hook: active in debug builds and `check`-feature
+    /// builds, compiled out otherwise.
+    #[inline]
+    #[allow(unused_variables)]
+    fn debug_validate_entry(&self, b: BlockId) {
+        #[cfg(any(debug_assertions, feature = "check"))]
+        if let Some(e) = self.entry_error(b.0 as usize) {
+            panic!("directory entry invariant violated: {e}");
+        }
     }
 }
 

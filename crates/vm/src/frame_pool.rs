@@ -66,12 +66,19 @@ impl FramePool {
     }
 
     /// Return a frame to the pool.
+    ///
+    /// Out-of-range and double frees are caught in debug builds and in
+    /// `check`-feature builds (the double-free scan is O(free), which is
+    /// why it is not unconditional).
     pub fn release(&mut self, frame: u32) {
-        debug_assert!(
-            frame >= self.home_frames && frame < self.total_frames,
-            "released frame {frame} out of page-cache range"
-        );
-        debug_assert!(!self.free.contains(&frame), "double free of frame {frame}");
+        #[cfg(any(debug_assertions, feature = "check"))]
+        {
+            assert!(
+                frame >= self.home_frames && frame < self.total_frames,
+                "released frame {frame} out of page-cache range"
+            );
+            assert!(!self.free.contains(&frame), "double free of frame {frame}");
+        }
         self.free.push(frame);
     }
 
@@ -129,6 +136,40 @@ impl FramePool {
     /// The lowest free count ever observed (how deep the pool drained).
     pub fn low_watermark(&self) -> u32 {
         self.low_watermark
+    }
+
+    /// The free list itself (invariant checking / inspection).
+    pub fn free_frames(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Structural self-check: every free frame is in the page-cache range
+    /// and listed exactly once, and the list never exceeds the page-cache
+    /// partition.  `O(free log free)` — for barrier-time and test probes.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.free.len() as u32 > self.cache_frames() {
+            return Err(format!(
+                "{} free frames exceed the {}-frame page cache",
+                self.free.len(),
+                self.cache_frames()
+            ));
+        }
+        let mut sorted = self.free.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(format!("frame {} on the free list twice", w[0]));
+            }
+        }
+        if let (Some(&lo), Some(&hi)) = (sorted.first(), sorted.last()) {
+            if lo < self.home_frames || hi >= self.total_frames {
+                return Err(format!(
+                    "free list spans [{lo}, {hi}] outside the page-cache range [{}, {})",
+                    self.home_frames, self.total_frames
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -109,6 +109,7 @@ impl PageTable {
         self.scoma_pages.push(page);
         let pos = self.scoma_pages.len() as u32;
         self.e_mut(page).scoma_pos = pos;
+        self.debug_validate_residency(page);
     }
 
     /// Remove `page` from S-COMA mode, returning its frame.  The caller
@@ -128,12 +129,14 @@ impl PageTable {
         if idx != last {
             let moved = self.scoma_pages[idx];
             self.e_mut(moved).scoma_pos = pos;
+            self.debug_validate_residency(moved);
         }
         let e = self.e_mut(page);
         e.mode = PageMode::Numa;
         e.valid = 0;
         e.local_refetches = 0;
         e.scoma_pos = 0;
+        self.debug_validate_residency(page);
         frame
     }
 
@@ -211,6 +214,80 @@ impl PageTable {
     /// The page's local refetch counter.
     pub fn local_refetches(&self, page: VPage) -> u32 {
         self.e(page).local_refetches
+    }
+
+    /// Residency bookkeeping rules for one page (O(1)).
+    fn residency_error(&self, page: VPage) -> Option<String> {
+        let e = self.e(page);
+        match e.mode {
+            PageMode::Scoma { .. } => {
+                let pos = e.scoma_pos;
+                if pos == 0 || pos as usize > self.scoma_pages.len() {
+                    return Some(format!(
+                        "S-COMA page {page} has residency position {pos} out of range"
+                    ));
+                }
+                if self.scoma_pages[(pos - 1) as usize] != page {
+                    return Some(format!(
+                        "S-COMA page {page} residency slot {} holds {}",
+                        pos - 1,
+                        self.scoma_pages[(pos - 1) as usize]
+                    ));
+                }
+            }
+            _ => {
+                if e.scoma_pos != 0 {
+                    return Some(format!(
+                        "non-S-COMA page {page} still on the residency list (pos {})",
+                        e.scoma_pos
+                    ));
+                }
+                if e.valid != 0 {
+                    return Some(format!(
+                        "non-S-COMA page {page} has valid bits {:#x}",
+                        e.valid
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Full-table structural self-check: every residency-list entry is an
+    /// S-COMA page whose back-pointer matches its slot, every non-resident
+    /// page is off the list with no valid bits, and the list length equals
+    /// the number of S-COMA-mapped pages.  `O(pages)` — for barrier-time
+    /// and test probes.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut scoma_modes = 0usize;
+        for p in 0..self.entries.len() {
+            let page = VPage(p as u64);
+            if self.entries[p].mode.is_scoma() {
+                scoma_modes += 1;
+            }
+            if let Some(e) = self.residency_error(page) {
+                return Err(e);
+            }
+        }
+        if scoma_modes != self.scoma_pages.len() {
+            return Err(format!(
+                "{} S-COMA-mapped pages but residency list holds {}",
+                scoma_modes,
+                self.scoma_pages.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Per-mutation residency hook: active in debug builds and
+    /// `check`-feature builds, compiled out otherwise.
+    #[inline]
+    #[allow(unused_variables)]
+    fn debug_validate_residency(&self, page: VPage) {
+        #[cfg(any(debug_assertions, feature = "check"))]
+        if let Some(e) = self.residency_error(page) {
+            panic!("page-table residency invariant violated: {e}");
+        }
     }
 }
 

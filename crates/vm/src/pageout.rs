@@ -108,6 +108,22 @@ impl PageoutDaemon {
             victims.push(page);
         }
         let reached = victims.len() as u32 >= deficit;
+        // Selection postconditions (debug / `check` builds): victims are
+        // distinct S-COMA-resident pages — the machine will unmap each one
+        // exactly once.
+        #[cfg(any(debug_assertions, feature = "check"))]
+        {
+            for (i, &v) in victims.iter().enumerate() {
+                assert!(
+                    pt.mode(v).is_scoma(),
+                    "daemon selected non-resident victim {v}"
+                );
+                assert!(
+                    !victims[..i].contains(&v),
+                    "daemon selected victim {v} twice"
+                );
+            }
+        }
         PageoutOutcome {
             victims,
             examined,

@@ -1,0 +1,124 @@
+//! Frame-pool conservation under churn (feature `churntests`).
+//!
+//! Random sequences of map/unmap/daemon actions — the same operation mix
+//! the machine's fault, relocation and pageout paths drive — must never
+//! leak or duplicate a frame: `free + resident == cache_frames` after
+//! every step, and the page table and pool stay structurally valid.
+//!
+//! Uses the vendored deterministic RNG (`ascoma_sim::rng::SimRng`), so a
+//! failure reproduces from the printed seed.
+
+#![cfg(feature = "churntests")]
+
+use ascoma_sim::addr::VPage;
+use ascoma_sim::rng::SimRng;
+use ascoma_vm::{FramePool, PageTable, PageoutDaemon};
+
+/// One churn scenario: pages, frames and an action budget.
+struct Churn {
+    pages: u64,
+    total_frames: u32,
+    home_frames: u32,
+    steps: u32,
+}
+
+fn conservation_holds(c: &Churn, seed: u64) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut pt = PageTable::new(c.pages, 32);
+    let mut pool = FramePool::new(c.total_frames, c.home_frames, 1, 2);
+    let mut daemon = PageoutDaemon::new(0);
+    let mut now = 0u64;
+
+    for step in 0..c.steps {
+        now += 10;
+        match rng.below(100) {
+            // Map a random unmapped page if a frame is free.
+            0..=49 => {
+                let page = VPage(rng.below(c.pages));
+                if pt.mode(page) == ascoma_vm::PageMode::Unmapped {
+                    if let Some(frame) = pool.alloc() {
+                        pt.map_scoma(page, frame);
+                    }
+                }
+            }
+            // Unmap a random resident page.
+            50..=74 => {
+                if pt.scoma_count() > 0 {
+                    let idx = rng.below(pt.scoma_count() as u64) as usize;
+                    let page = pt.scoma_pages()[idx];
+                    let frame = pt.unmap_scoma(page);
+                    pool.release(frame);
+                }
+            }
+            // Touch a random page (keeps the daemon's clock honest).
+            75..=89 => {
+                pt.touch(VPage(rng.below(c.pages)));
+            }
+            // Run the pageout daemon against the current deficit.
+            _ => {
+                let deficit = pool.deficit();
+                let out = daemon.run(now, &mut pt, deficit);
+                for v in out.victims {
+                    let frame = pt.unmap_scoma(v);
+                    pool.release(frame);
+                }
+            }
+        }
+        assert_eq!(
+            pool.free_count() + pt.scoma_count() as u32,
+            pool.cache_frames(),
+            "seed {seed} step {step}: frame conservation broken"
+        );
+        pt.validate()
+            .unwrap_or_else(|e| panic!("seed {seed} step {step}: page table invalid: {e}"));
+        pool.validate()
+            .unwrap_or_else(|e| panic!("seed {seed} step {step}: frame pool invalid: {e}"));
+    }
+}
+
+#[test]
+fn conservation_under_contended_churn() {
+    // Fewer frames than pages: every path through alloc-failure and the
+    // daemon's deficit logic gets exercised.
+    let c = Churn {
+        pages: 64,
+        total_frames: 24,
+        home_frames: 8,
+        steps: 4000,
+    };
+    let mut seeds = SimRng::seed_from(0xC0FFEE);
+    for _ in 0..16 {
+        conservation_holds(&c, seeds.next_u64());
+    }
+}
+
+#[test]
+fn conservation_under_abundant_frames() {
+    // More frames than pages: the free list stays long and release-order
+    // bookkeeping dominates.
+    let c = Churn {
+        pages: 16,
+        total_frames: 64,
+        home_frames: 4,
+        steps: 4000,
+    };
+    let mut seeds = SimRng::seed_from(0xBEEF);
+    for _ in 0..16 {
+        conservation_holds(&c, seeds.next_u64());
+    }
+}
+
+#[test]
+fn conservation_with_tiny_cache() {
+    // A two-frame page cache: maximal churn pressure per frame.
+    let c = Churn {
+        pages: 32,
+        total_frames: 10,
+        home_frames: 8,
+        steps: 4000,
+    };
+    let mut seeds = SimRng::seed_from(7);
+    for _ in 0..16 {
+        conservation_holds(&c, seeds.next_u64());
+    }
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Correctness gate for the ascoma workspace: formatting, clippy with
+# warnings denied, a panic lint over library code, the protocol model
+# checker (clean smoke suite + seeded-mutation detection), and the
+# feature-gated interleaving/churn test suites.
+#
+# Run from anywhere inside the repo:
+#
+#   scripts/check.sh            # everything (CI parity)
+#   scripts/check.sh --fast     # skip the release-mode model checker run
+#
+# The panic lint denies `.unwrap()` / `.expect(` in library (non-test)
+# code under crates/*/src.  Audited exceptions live in
+# scripts/lint_allow.txt as `path:substring` entries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+    --fast) fast=1 ;;
+    *)
+        echo "usage: scripts/check.sh [--fast]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+step() { printf '\n== %s ==\n' "$1"; }
+
+step "format"
+cargo fmt --all -- --check
+
+step "clippy (deny warnings, all targets)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "clippy (check/permtests/churntests features)"
+cargo clippy --workspace --all-targets \
+    --features ascoma/check,ascoma/permtests,ascoma-vm/churntests -- -D warnings
+
+step "panic lint (unwrap/expect in library code)"
+# Per file: scan until the first top-level `#[cfg(test)]` (test modules
+# sit at the bottom of each file in this codebase), skip `//` comment
+# lines, flag unwrap/expect calls.
+hits=$(find crates/*/src -name '*.rs' | sort | while IFS= read -r f; do
+    awk -v file="$f" '
+        /^#\[cfg\(test\)\]/ { exit }
+        { line = $0; sub(/^[ \t]+/, "", line) }
+        line ~ /^\/\// { next }
+        /\.unwrap\(\)|\.expect\(/ { print file ":" FNR ":" line }
+    ' "$f"
+done)
+viol=0
+if [ -n "$hits" ]; then
+    while IFS= read -r hit; do
+        file=${hit%%:*}
+        rest=${hit#*:}
+        lineno=${rest%%:*}
+        content=${rest#*:}
+        allowed=0
+        while IFS= read -r allow; do
+            case "$allow" in '' | \#*) continue ;; esac
+            afile=${allow%%:*}
+            apat=${allow#*:}
+            if [ "$afile" = "$file" ] && [ "${content#*"$apat"}" != "$content" ]; then
+                allowed=1
+                break
+            fi
+        done <scripts/lint_allow.txt
+        if [ "$allowed" -eq 0 ]; then
+            echo "DENY $file:$lineno: $content"
+            viol=1
+        fi
+    done <<<"$hits"
+fi
+if [ "$viol" -ne 0 ]; then
+    echo "panic lint: unwrap/expect in library code; return a Result or"
+    echo "add an audited 'path:substring' entry to scripts/lint_allow.txt"
+    exit 1
+fi
+echo "panic lint clean"
+
+step "model checker unit + mutation-detection tests"
+cargo test -q -p ascoma-check
+
+step "interleaving permutation tests (core::parallel)"
+cargo test -q -p ascoma --features permtests --test parallel_perm
+
+step "frame-pool churn property tests"
+cargo test -q -p ascoma-vm --features churntests
+
+step "invariant hooks active (core tests with --features check)"
+cargo test -q -p ascoma --features check
+
+if [ "$fast" -eq 0 ]; then
+    step "model checker CI gate (release): smoke suite + seeded mutations"
+    cargo run -q --release -p ascoma-check --bin model_check
+else
+    step "model checker CI gate skipped (--fast)"
+fi
+
+printf '\nall checks passed\n'

@@ -1,0 +1,132 @@
+//! Interleaving-permutation tests for `ascoma::parallel` (feature
+//! `permtests`): a std-only, loom-lite check that reassembly is
+//! independent of worker completion order.
+//!
+//! Two layers:
+//!
+//! * [`assemble`] is driven with *every* permutation of arrival order and
+//!   must produce identical output — the reassembly half in isolation.
+//! * [`run_indexed`] is run with a condvar turnstile inside the work
+//!   function that *forces* each completion order across real threads —
+//!   the full pool under every schedule a scheduler could choose.
+
+#![cfg(feature = "permtests")]
+
+use ascoma::parallel::{assemble, run_indexed};
+use std::sync::{Condvar, Mutex};
+
+/// All permutations of `0..n` (Heap's algorithm, deterministic order).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    fn heap(k: usize, items: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, items, out);
+            if k % 2 == 0 {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n, &mut items, &mut out);
+    out
+}
+
+#[test]
+fn assemble_is_arrival_order_independent() {
+    for n in 0..=6 {
+        let expected: Vec<u64> = (0..n as u64).map(|i| i * i + 7).collect();
+        for perm in permutations(n) {
+            let arrivals: Vec<(usize, u64)> = perm
+                .iter()
+                .map(|&i| (i, (i as u64) * (i as u64) + 7))
+                .collect();
+            assert_eq!(
+                assemble(n, arrivals),
+                expected,
+                "order {perm:?} changed the output"
+            );
+        }
+    }
+}
+
+#[test]
+fn assemble_rejects_duplicates_and_gaps() {
+    let dup = std::panic::catch_unwind(|| assemble(2, vec![(0, 1u8), (0, 2u8)]));
+    assert!(dup.is_err(), "duplicate index must panic");
+    let gap = std::panic::catch_unwind(|| assemble(3, vec![(0, 1u8), (2, 2u8)]));
+    assert!(gap.is_err(), "missing index must panic");
+    let oob = std::panic::catch_unwind(|| assemble(1, vec![(1, 1u8)]));
+    assert!(oob.is_err(), "out-of-range index must panic");
+}
+
+/// A condvar turnstile: thread for item `i` may only proceed when its
+/// assigned rank comes up, forcing an exact completion order.
+struct Turnstile {
+    turn: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Turnstile {
+    fn new() -> Self {
+        Self {
+            turn: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn pass(&self, rank: usize) {
+        let mut turn = self.turn.lock().unwrap_or_else(|e| e.into_inner());
+        while *turn != rank {
+            turn = self.cv.wait(turn).unwrap_or_else(|e| e.into_inner());
+        }
+        *turn += 1;
+        self.cv.notify_all();
+    }
+}
+
+#[test]
+fn run_indexed_is_schedule_independent() {
+    // With jobs == n every item owns a worker, so any completion order is
+    // reachable without deadlock; the turnstile then forces each one.
+    const N: usize = 4;
+    let serial: Vec<u64> = run_indexed(N, 1, |i| (i as u64 + 1) * 3);
+    for perm in permutations(N) {
+        let mut rank = [0usize; N];
+        for (r, &i) in perm.iter().enumerate() {
+            rank[i] = r;
+        }
+        let gate = Turnstile::new();
+        let forced: Vec<u64> = run_indexed(N, N, |i| {
+            gate.pass(rank[i]);
+            (i as u64 + 1) * 3
+        });
+        assert_eq!(forced, serial, "schedule {perm:?} changed the output");
+    }
+}
+
+#[test]
+fn run_indexed_is_schedule_independent_with_contention() {
+    // Same forcing, but results big enough to stress channel reassembly
+    // and a work function with real allocation.
+    const N: usize = 5;
+    let work = |i: usize| -> Vec<u8> { vec![i as u8; 64 + i] };
+    let serial: Vec<Vec<u8>> = run_indexed(N, 1, work);
+    for perm in permutations(N) {
+        let mut rank = [0usize; N];
+        for (r, &i) in perm.iter().enumerate() {
+            rank[i] = r;
+        }
+        let gate = Turnstile::new();
+        let forced = run_indexed(N, N, |i| {
+            gate.pass(rank[i]);
+            work(i)
+        });
+        assert_eq!(forced, serial, "schedule {perm:?} changed the output");
+    }
+}
