@@ -1,0 +1,169 @@
+//! Metrics front-end: render an HTML run report, or compare two
+//! baseline JSON files for regressions.
+//!
+//! ```text
+//! cargo run --release -p ascoma-bench --bin bench -- report \
+//!     --app em3d --arch ascoma --pressure 0.7 --out report.html
+//! cargo run --release -p ascoma-bench --bin bench -- diff \
+//!     results/BENCH_perf_reduced.json BENCH_perf.json
+//! ```
+//!
+//! `diff` exits 0 when every deterministic leaf matches, 1 on any
+//! regression (see `ascoma_bench::diff` for the classification), 2 on
+//! usage errors.
+
+use ascoma::machine::simulate_measured;
+use ascoma::{Arch, SimConfig};
+use ascoma_bench::diff::{diff, Severity};
+use ascoma_bench::report::render_html;
+use ascoma_obs::json;
+use ascoma_obs::metrics::DEFAULT_WINDOW;
+use ascoma_workloads::{App, SizeClass};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => report_cmd(&args[1..]),
+        Some("diff") => diff_cmd(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!(
+                "usage: bench report [options]   render an HTML report of one measured run\n\
+                 \x20      bench diff OLD NEW       compare two baseline JSON files\n\
+                 run `bench report --help` for report options"
+            );
+            std::process::exit(if args.is_empty() { 2 } else { 0 });
+        }
+        Some(other) => die(&format!("unknown subcommand '{other}'")),
+    }
+}
+
+struct ReportOpts {
+    app: App,
+    size: SizeClass,
+    arch: Arch,
+    pressure: f64,
+    window: u64,
+    hot: usize,
+    out: Option<String>,
+}
+
+fn report_cmd(args: &[String]) {
+    let mut o = ReportOpts {
+        app: App::Em3d,
+        size: SizeClass::Tiny,
+        arch: Arch::AsComa,
+        pressure: 0.7,
+        window: DEFAULT_WINDOW,
+        hot: 20,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{a} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--app" => {
+                let v = val();
+                o.app = App::parse(&v).unwrap_or_else(|| die(&format!("unknown app '{v}'")));
+            }
+            "--size" => {
+                o.size = match val().as_str() {
+                    "tiny" => SizeClass::Tiny,
+                    "default" => SizeClass::Default,
+                    "paper" => SizeClass::Paper,
+                    v => die(&format!("unknown size '{v}'")),
+                };
+            }
+            "--arch" => {
+                let v = val();
+                o.arch = Arch::parse(&v).unwrap_or_else(|| die(&format!("unknown arch '{v}'")));
+            }
+            "--pressure" => {
+                o.pressure = val()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| *p > 0.0 && *p <= 1.0)
+                    .unwrap_or_else(|| die("bad --pressure (want a value in (0, 1])"));
+            }
+            "--window" => {
+                o.window = val()
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --window (cycles; 0 disables series)"));
+            }
+            "--hot" => {
+                o.hot = val().parse().unwrap_or_else(|_| die("bad --hot (rows)"));
+            }
+            "--out" => o.out = Some(val()),
+            "--help" | "-h" => {
+                eprintln!(
+                    "bench report: run one measured simulation and render an HTML report\n\
+                     \n\
+                     options:\n\
+                     \x20 --app NAME      workload (default em3d)\n\
+                     \x20 --size tiny|default|paper (default tiny)\n\
+                     \x20 --arch NAME     architecture (default ascoma)\n\
+                     \x20 --pressure P    memory pressure in (0,1] (default 0.7)\n\
+                     \x20 --window N      time-series window, cycles; 0 disables (default {DEFAULT_WINDOW})\n\
+                     \x20 --hot N         hot-page table rows (default 20)\n\
+                     \x20 --out FILE      write HTML to FILE (default stdout)"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown report option '{other}'")),
+        }
+    }
+
+    let cfg = SimConfig::at_pressure(o.pressure);
+    let trace = o.app.build(o.size, cfg.geometry.page_bytes());
+    let (result, events, registry) = simulate_measured(&trace, o.arch, &cfg, o.window);
+    let html = render_html(&result, &registry, o.hot);
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, &html).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            eprintln!(
+                "{}: {} events, {} cycles -> {path} ({} bytes)",
+                trace.name,
+                events.len(),
+                result.cycles,
+                html.len()
+            );
+        }
+        None => print!("{html}"),
+    }
+}
+
+fn diff_cmd(args: &[String]) {
+    let [old_path, new_path] = args else {
+        die("diff needs exactly two file arguments: OLD NEW");
+    };
+    let load = |path: &String| {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+    };
+    let rep = diff(&load(old_path), &load(new_path));
+    for f in &rep.findings {
+        println!("{f}");
+    }
+    let regressions = rep.of(Severity::Regression).count();
+    if regressions > 0 {
+        eprintln!(
+            "FAIL: {regressions} regression(s) against {old_path} ({} total findings)",
+            rep.findings.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "OK: no regressions against {old_path} ({} advisory, {} new-field)",
+        rep.of(Severity::Advisory).count(),
+        rep.of(Severity::Warning).count()
+    );
+}

@@ -140,8 +140,18 @@ fn main() {
         "parallel: {parallel_secs:.3}s ({:.1} cells/s, {jobs} jobs)",
         ncells as f64 / parallel_secs
     );
+    // A serial-vs-parallel ratio only measures the engine when there is
+    // real parallelism; on a single-core host (or with --jobs 1) it is
+    // just timing noise, so flag it and omit the number.
+    let speedup_meaningful = host_cores > 1 && jobs > 1;
     let speedup = serial_secs / parallel_secs;
-    eprintln!("speedup : {speedup:.2}x");
+    if speedup_meaningful {
+        eprintln!("speedup : {speedup:.2}x");
+    } else {
+        eprintln!(
+            "speedup : n/a (host_cores={host_cores}, jobs={jobs}; comparison not meaningful)"
+        );
+    }
 
     let equivalent = serial == parallel;
     if args.check && !equivalent {
@@ -209,7 +219,10 @@ fn main() {
         "  \"parallel\": {{ \"wall_secs\": {parallel_secs:.6}, \"cells_per_sec\": {:.3} }},",
         ncells as f64 / parallel_secs
     );
-    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"speedup_meaningful\": {speedup_meaningful},");
+    if speedup_meaningful {
+        let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    }
     let _ = writeln!(json, "  \"equivalent\": {equivalent},");
     let _ = writeln!(json, "  \"counters\": {{");
     let _ = writeln!(json, "    \"sim_cycles\": {sim_cycles},");

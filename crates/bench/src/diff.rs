@@ -1,0 +1,295 @@
+//! Cross-run regression comparison of two baseline JSON files.
+//!
+//! `bench diff OLD NEW` walks two parsed JSON trees (`BENCH_perf.json`
+//! or a metrics-digest file) leaf by leaf.  The simulator is
+//! deterministic, so every counter is compared **exactly**; only
+//! host-dependent wall-clock leaves (see [`ADVISORY_KEYS`]) are
+//! advisory — reported, never failing.  The comparator is a pure
+//! function over [`Json`] values so the exit-code policy lives in the
+//! binary and the classification logic is unit-testable.
+
+use ascoma_obs::json::Json;
+use std::fmt;
+
+/// Leaf key names whose values depend on the host (timings, derived
+/// rates), compared advisorily rather than exactly.
+pub const ADVISORY_KEYS: &[&str] = &[
+    "wall_secs",
+    "cells_per_sec",
+    "speedup",
+    "trace_build_secs",
+    "host_cores",
+    "jobs",
+    "speedup_meaningful",
+];
+
+/// How a single finding is classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A deterministic value changed (or disappeared): fails the diff.
+    Regression,
+    /// A host-dependent value changed: reported, never failing.
+    Advisory,
+    /// Structure grew (a new field): reported, never failing.
+    Warning,
+}
+
+impl Severity {
+    /// Short uppercase tag for report lines.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Severity::Regression => "REGRESSION",
+            Severity::Advisory => "advisory",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One difference between the two trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Slash-separated path from the root to the differing leaf.
+    pub path: String,
+    /// Classification (drives the exit code).
+    pub severity: Severity,
+    /// Human-readable old-vs-new description.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} {}: {}",
+            self.severity.tag(),
+            self.path,
+            self.detail
+        )
+    }
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Every difference found, in tree order.
+    pub findings: Vec<Finding>,
+}
+
+impl DiffReport {
+    /// Findings of a given severity.
+    pub fn of(&self, sev: Severity) -> impl Iterator<Item = &Finding> + '_ {
+        self.findings.iter().filter(move |f| f.severity == sev)
+    }
+
+    /// True when any finding is a [`Severity::Regression`].
+    pub fn has_regressions(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| f.severity == Severity::Regression)
+    }
+}
+
+fn is_advisory(key: &str) -> bool {
+    ADVISORY_KEYS.contains(&key)
+}
+
+fn type_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+fn push(rep: &mut DiffReport, path: &str, severity: Severity, detail: String) {
+    rep.findings.push(Finding {
+        path: path.to_string(),
+        severity,
+        detail,
+    });
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}/{key}")
+    }
+}
+
+fn walk(path: &str, key: &str, old: &Json, new: &Json, rep: &mut DiffReport) {
+    match (old, new) {
+        (Json::Obj(om), Json::Obj(nm)) => {
+            for (k, ov) in om {
+                match nm.iter().find(|(nk, _)| nk == k) {
+                    Some((_, nv)) => walk(&join(path, k), k, ov, nv, rep),
+                    None => {
+                        let sev = if is_advisory(k) {
+                            Severity::Advisory
+                        } else {
+                            Severity::Regression
+                        };
+                        push(rep, &join(path, k), sev, "missing in new run".into());
+                    }
+                }
+            }
+            for (k, _) in nm {
+                if !om.iter().any(|(ok, _)| ok == k) {
+                    push(
+                        rep,
+                        &join(path, k),
+                        Severity::Warning,
+                        "new field (absent in baseline)".into(),
+                    );
+                }
+            }
+        }
+        (Json::Arr(oa), Json::Arr(na)) => {
+            if oa.len() != na.len() {
+                push(
+                    rep,
+                    path,
+                    Severity::Regression,
+                    format!("array length {} -> {}", oa.len(), na.len()),
+                );
+                return;
+            }
+            for (i, (ov, nv)) in oa.iter().zip(na).enumerate() {
+                walk(&join(path, &i.to_string()), key, ov, nv, rep);
+            }
+        }
+        (Json::Num(o), Json::Num(n)) => {
+            if o == n {
+                return;
+            }
+            if is_advisory(key) {
+                let rel = if *o != 0.0 { (n - o) / o * 100.0 } else { 0.0 };
+                push(
+                    rep,
+                    path,
+                    Severity::Advisory,
+                    format!("{o} -> {n} ({rel:+.1}%)"),
+                );
+            } else {
+                push(rep, path, Severity::Regression, format!("{o} -> {n}"));
+            }
+        }
+        (Json::Bool(o), Json::Bool(n)) if o == n => {}
+        (Json::Str(o), Json::Str(n)) if o == n => {}
+        (Json::Null, Json::Null) => {}
+        (Json::Bool(o), Json::Bool(n)) => {
+            let sev = if is_advisory(key) {
+                Severity::Advisory
+            } else {
+                Severity::Regression
+            };
+            push(rep, path, sev, format!("{o} -> {n}"));
+        }
+        (Json::Str(o), Json::Str(n)) => {
+            push(
+                rep,
+                path,
+                Severity::Regression,
+                format!("\"{o}\" -> \"{n}\""),
+            );
+        }
+        _ => {
+            push(
+                rep,
+                path,
+                Severity::Regression,
+                format!("type {} -> {}", type_name(old), type_name(new)),
+            );
+        }
+    }
+}
+
+/// Compare a baseline tree against a new run's tree.
+///
+/// Deterministic leaves must match exactly; leaves named by
+/// [`ADVISORY_KEYS`] and fields added in the new tree are reported but
+/// never regressions.
+pub fn diff(old: &Json, new: &Json) -> DiffReport {
+    let mut rep = DiffReport::default();
+    walk("", "", old, new, &mut rep);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascoma_obs::json::parse;
+
+    fn j(s: &str) -> Json {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_diff_clean() {
+        let v = j(r#"{"counters":{"sim_cycles":123,"net_messages":7},"equivalent":true}"#);
+        let rep = diff(&v, &v);
+        assert!(rep.findings.is_empty());
+        assert!(!rep.has_regressions());
+    }
+
+    #[test]
+    fn perturbed_counter_is_a_regression() {
+        let old = j(r#"{"counters":{"sim_cycles":123}}"#);
+        let new = j(r#"{"counters":{"sim_cycles":124}}"#);
+        let rep = diff(&old, &new);
+        assert!(rep.has_regressions());
+        assert_eq!(rep.findings[0].path, "counters/sim_cycles");
+        assert_eq!(rep.findings[0].detail, "123 -> 124");
+    }
+
+    #[test]
+    fn wall_clock_changes_are_advisory() {
+        let old = j(r#"{"serial":{"wall_secs":10.0,"cells_per_sec":5.0},"speedup":2.0}"#);
+        let new = j(r#"{"serial":{"wall_secs":20.0,"cells_per_sec":2.5},"speedup":1.5}"#);
+        let rep = diff(&old, &new);
+        assert!(!rep.has_regressions());
+        assert_eq!(rep.of(Severity::Advisory).count(), 3);
+        assert!(rep.findings[0].detail.contains("+100.0%"));
+    }
+
+    #[test]
+    fn missing_deterministic_leaf_is_a_regression() {
+        let old = j(r#"{"counters":{"sim_cycles":1,"upgrades":2}}"#);
+        let new = j(r#"{"counters":{"sim_cycles":1}}"#);
+        let rep = diff(&old, &new);
+        assert!(rep.has_regressions());
+        assert_eq!(rep.findings[0].path, "counters/upgrades");
+    }
+
+    #[test]
+    fn missing_advisory_leaf_does_not_fail() {
+        // An old baseline with "speedup" diffed against a new file where
+        // the serial/parallel comparison was skipped (host_cores == 1).
+        let old = j(r#"{"speedup":0.983,"cells":18}"#);
+        let new = j(r#"{"cells":18,"speedup_meaningful":false}"#);
+        let rep = diff(&old, &new);
+        assert!(!rep.has_regressions());
+        assert_eq!(rep.of(Severity::Advisory).count(), 1);
+        assert_eq!(rep.of(Severity::Warning).count(), 1);
+    }
+
+    #[test]
+    fn new_fields_warn_only() {
+        let old = j(r#"{"a":1}"#);
+        let new = j(r#"{"a":1,"metrics":{"x":2}}"#);
+        let rep = diff(&old, &new);
+        assert!(!rep.has_regressions());
+        assert_eq!(rep.of(Severity::Warning).count(), 1);
+    }
+
+    #[test]
+    fn type_bool_and_array_mismatches_fail() {
+        assert!(diff(&j(r#"{"a":1}"#), &j(r#"{"a":"1"}"#)).has_regressions());
+        assert!(diff(&j(r#"{"a":true}"#), &j(r#"{"a":false}"#)).has_regressions());
+        assert!(diff(&j(r#"{"a":[1,2]}"#), &j(r#"{"a":[1]}"#)).has_regressions());
+        assert!(diff(&j(r#"{"a":[1,2]}"#), &j(r#"{"a":[1,3]}"#)).has_regressions());
+    }
+}

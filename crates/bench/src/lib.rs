@@ -6,7 +6,9 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod harness;
+pub mod report;
 
 use ascoma::experiments::{assemble_figure, figure_cells, run_table6_on, FigureData, Table6Row};
 use ascoma::parallel::{effective_jobs, run_indexed};

@@ -26,8 +26,8 @@ use ascoma_mem::cache::{DirectMappedCache, Lookup};
 use ascoma_mem::timing::LocalMemory;
 use ascoma_net::{Network, Topology};
 use ascoma_obs::{
-    summarize, BackoffKind, Event, EvictCause, MapMode, NoopSink, Sink, ThresholdStep, TimedEvent,
-    VecSink,
+    summarize, BackoffKind, Event, EvictCause, MapMode, MetricsRegistry, MissLoc, NoopSink, Sink,
+    ThresholdStep, TimedEvent, VecSink,
 };
 use ascoma_proto::{Directory, FetchClass, ProtoStats};
 use ascoma_sim::addr::{VAddr, VPage};
@@ -259,6 +259,7 @@ impl<'t, S: Sink> Machine<'t, S> {
                 free: ctx.pool.free_count(),
                 resident: ctx.pt.scoma_count() as u32,
                 deficit: ctx.pool.deficit(),
+                low: ctx.pool.low_watermark(),
             };
             let threshold = Event::ThresholdSample {
                 node,
@@ -269,15 +270,25 @@ impl<'t, S: Sink> Machine<'t, S> {
                 total: ctx.miss.total(),
                 remote: ctx.miss.remote(),
             };
+            let (l1_hits, l1_misses) = ctx.l1.stats();
             let net = Event::NetSample {
                 node,
                 backlog: self.net.port_backlog(node, clock),
                 messages: self.net.messages(),
+                queued: self.net.port_queued_at(node),
+            };
+            let mem = Event::MemSample {
+                node,
+                l1_hits,
+                l1_misses,
+                bus_queued: self.mems[n].bus.queued_cycles(),
+                dram_queued: self.mems[n].dram.queued_cycles(),
             };
             self.sink.emit(clock, free_pool);
             self.sink.emit(clock, threshold);
             self.sink.emit(clock, miss);
             self.sink.emit(clock, net);
+            self.sink.emit(clock, mem);
         }
     }
 
@@ -636,12 +647,36 @@ impl<'t, S: Sink> Machine<'t, S> {
             self.count_remote_class(n, out.class);
             self.nodes[n].lat.remote_cycles += t - now;
             self.charge(n, Bucket::ShMem, t - now);
+            if S::ENABLED {
+                self.emit(
+                    n,
+                    Event::MissServiced {
+                        node,
+                        page,
+                        loc: MissLoc::Remote2,
+                        refetch: out.class == FetchClass::Refetch,
+                        cycles: t - now,
+                    },
+                );
+            }
         } else {
             let inval_done = self.invalidation_round(n, out.invalidate, write);
             let done = self.mems[n].local_fetch(now, addr.0, self.cfg.geometry.line_bytes());
             self.nodes[n].miss.home += 1;
             self.nodes[n].lat.home_cycles += done.max(inval_done) - now;
             self.charge(n, Bucket::ShMem, done.max(inval_done) - now);
+            if S::ENABLED {
+                self.emit(
+                    n,
+                    Event::MissServiced {
+                        node,
+                        page,
+                        loc: MissLoc::Home,
+                        refetch: false,
+                        cycles: done.max(inval_done) - now,
+                    },
+                );
+            }
         }
         self.fill_l1(n, addr, write);
     }
@@ -669,6 +704,18 @@ impl<'t, S: Sink> Machine<'t, S> {
             self.nodes[n].miss.scoma += 1;
             self.nodes[n].lat.scoma_cycles += done - now2;
             self.charge(n, Bucket::ShMem, done - now2);
+            if S::ENABLED {
+                self.emit(
+                    n,
+                    Event::MissServiced {
+                        node,
+                        page,
+                        loc: MissLoc::Scoma,
+                        refetch: false,
+                        cycles: done - now2,
+                    },
+                );
+            }
             self.fill_l1(n, addr, write);
         } else {
             // Invalid block: fetch remotely and fill the frame.
@@ -681,6 +728,23 @@ impl<'t, S: Sink> Machine<'t, S> {
             self.count_remote_class(n, out.class);
             self.nodes[n].lat.remote_cycles += lat;
             self.charge(n, Bucket::ShMem, lat);
+            if S::ENABLED {
+                let loc = if out.forward_from.is_some() {
+                    MissLoc::Remote3
+                } else {
+                    MissLoc::Remote2
+                };
+                self.emit(
+                    n,
+                    Event::MissServiced {
+                        node,
+                        page,
+                        loc,
+                        refetch: out.class == FetchClass::Refetch,
+                        cycles: lat,
+                    },
+                );
+            }
             self.nodes[n].pt.set_block_valid(page, bin);
             if out.class == FetchClass::Refetch {
                 self.nodes[n].pt.count_local_refetch(page);
@@ -719,6 +783,18 @@ impl<'t, S: Sink> Machine<'t, S> {
             self.nodes[n].miss.rac += 1;
             self.nodes[n].lat.rac_cycles += done - now2;
             self.charge(n, Bucket::ShMem, done - now2);
+            if S::ENABLED {
+                self.emit(
+                    n,
+                    Event::MissServiced {
+                        node,
+                        page,
+                        loc: MissLoc::Rac,
+                        refetch: false,
+                        cycles: done - now2,
+                    },
+                );
+            }
             self.fill_l1(n, addr, write);
             return;
         }
@@ -731,6 +807,23 @@ impl<'t, S: Sink> Machine<'t, S> {
         self.count_remote_class(n, out.class);
         self.nodes[n].lat.remote_cycles += lat;
         self.charge(n, Bucket::ShMem, lat);
+        if S::ENABLED {
+            let loc = if out.forward_from.is_some() {
+                MissLoc::Remote3
+            } else {
+                MissLoc::Remote2
+            };
+            self.emit(
+                n,
+                Event::MissServiced {
+                    node,
+                    page,
+                    loc,
+                    refetch: out.class == FetchClass::Refetch,
+                    cycles: lat,
+                },
+            );
+        }
         if let Some(rac) = self.nodes[n].rac.as_mut() {
             rac.fill(addr, false);
         }
@@ -770,6 +863,14 @@ impl<'t, S: Sink> Machine<'t, S> {
         let geo = self.cfg.geometry;
         let node = NodeId(n as u16);
         let now = self.nodes[n].clock;
+        // Cumulative port-queueing before this transaction's messages, so
+        // the delta below isolates the queueing *this* fetch experienced
+        // (timing state is only read, never perturbed).
+        let queued_before = if S::ENABLED {
+            self.net.port_queued_cycles()
+        } else {
+            0
+        };
         // Request: local bus, network to home, home directory.
         let t = self.mems[n].bus.transact(now, 0);
         let t = self.net.send(t, node, home, 0);
@@ -802,6 +903,12 @@ impl<'t, S: Sink> Machine<'t, S> {
         let t = data_ready.max(inval_done);
         let t = self.net.send(t, from, node, geo.block_bytes());
         let t = self.mems[n].bus.transact(t, geo.block_bytes());
+        if S::ENABLED {
+            // Stamped at the pre-charge clock: the requester's clock only
+            // advances once the caller charges the returned latency.
+            let queued = self.net.port_queued_cycles() - queued_before;
+            self.emit(n, Event::NetDelay { node, queued });
+        }
         t - now
     }
 
@@ -1046,6 +1153,14 @@ impl<'t, S: Sink> Machine<'t, S> {
                         mode: MapMode::ScomaRefault,
                     },
                 );
+                self.emit(
+                    n,
+                    Event::RemapCost {
+                        node,
+                        page,
+                        cycles: self.cfg.kernel.remap,
+                    },
+                );
             }
         }
         // With zero cache frames the access falls through in NUMA mode
@@ -1134,6 +1249,19 @@ impl<'t, S: Sink> Machine<'t, S> {
             self.nodes[n].pool.release(frame);
             self.nodes[n].kstats.pages_reclaimed += 1;
         }
+        if S::ENABLED {
+            // Everything the epoch charged since `now`: the scan cost plus
+            // each victim's flush/remap.
+            let cycles = self.nodes[n].clock - now;
+            self.emit(
+                n,
+                Event::ReclaimLatency {
+                    node: NodeId(n as u16),
+                    reclaimed: out.victims.len() as u32,
+                    cycles,
+                },
+            );
+        }
         self.debug_check_frames(n);
         let before = self.nodes[n].pol.threshold();
         let adj = self.nodes[n].pol.on_daemon_result(out.reached_target);
@@ -1198,6 +1326,14 @@ impl<'t, S: Sink> Machine<'t, S> {
         self.nodes[n].kstats.downgrades += 1;
         if S::ENABLED {
             self.emit(n, Event::PageEvicted { node, page, cause });
+            self.emit(
+                n,
+                Event::RemapCost {
+                    node,
+                    page,
+                    cycles: cost,
+                },
+            );
         }
         self.nodes[n].pt.unmap_scoma(page)
     }
@@ -1242,6 +1378,14 @@ impl<'t, S: Sink> Machine<'t, S> {
                             node,
                             page,
                             threshold,
+                        },
+                    );
+                    self.emit(
+                        n,
+                        Event::RemapCost {
+                            node,
+                            page,
+                            cycles: cost,
                         },
                     );
                 }
@@ -1293,6 +1437,7 @@ impl<'t, S: Sink> Machine<'t, S> {
             net_messages: self.net.messages(),
             net_queued_cycles: self.net.port_queued_cycles(),
             obs: None,
+            metrics: None,
         };
         (result, self.sink)
     }
@@ -1351,6 +1496,41 @@ pub fn simulate_traced(trace: &Trace, arch: Arch, cfg: &SimConfig) -> (RunResult
     let (mut result, sink) = simulate_with_sink(trace, arch, cfg, VecSink::new());
     result.obs = Some(summarize(&sink.events, trace.nodes));
     (result, sink.events)
+}
+
+/// Run `trace` with full tracing *and* metrics: like [`simulate_traced`],
+/// but also folds the stream into a [`MetricsRegistry`] (windowed every
+/// `window` cycles; 0 disables the time series) and attaches its digest
+/// as [`RunResult::metrics`].  Returns the result, the event stream, and
+/// the registry (for report rendering).
+///
+/// The registry is a pure fold over the deterministic event stream, so
+/// the digest is byte-identical across repeated runs and across
+/// parallel-job counts.
+///
+/// ```
+/// use ascoma::machine::simulate_measured;
+/// use ascoma::{Arch, SimConfig};
+/// use ascoma_workloads::{App, SizeClass};
+///
+/// let mut cfg = SimConfig::at_pressure(0.7);
+/// cfg.obs_sample_period = 50_000;
+/// let trace = App::Em3d.build(SizeClass::Tiny, cfg.geometry.page_bytes());
+/// let (r, _events, reg) = simulate_measured(&trace, Arch::AsComa, &cfg, 100_000);
+/// let digest = r.metrics.unwrap();
+/// assert_eq!(digest, reg.digest());
+/// assert!(digest.hist("page_remap").is_some());
+/// ```
+pub fn simulate_measured(
+    trace: &Trace,
+    arch: Arch,
+    cfg: &SimConfig,
+    window: Cycles,
+) -> (RunResult, Vec<TimedEvent>, MetricsRegistry) {
+    let (mut result, events) = simulate_traced(trace, arch, cfg);
+    let registry = MetricsRegistry::from_events(&events, trace.nodes, window);
+    result.metrics = Some(registry.digest());
+    (result, events, registry)
 }
 
 #[cfg(test)]

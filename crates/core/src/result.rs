@@ -1,7 +1,7 @@
 //! Results of one simulation run: the data behind every chart and table.
 
 use crate::config::Arch;
-use ascoma_obs::{Summary, ThresholdStep};
+use ascoma_obs::{MetricsDigest, Summary, ThresholdStep};
 use ascoma_proto::ProtoStats;
 use ascoma_sim::stats::{ExecBreakdown, KernelStats, MissBreakdown, MissLatency};
 use ascoma_sim::Cycles;
@@ -57,6 +57,11 @@ pub struct RunResult {
     /// Observability digest: present when the run was traced (e.g. via
     /// `simulate_traced`), `None` for untraced runs.
     pub obs: Option<Summary>,
+    /// Metrics digest (latency percentiles + event counters): present
+    /// when the run was measured (`simulate_measured`), `None` otherwise.
+    /// Integer-only and deterministic, so it compares exactly across job
+    /// counts and is what `bench diff` consumes.
+    pub metrics: Option<MetricsDigest>,
 }
 
 impl RunResult {
@@ -112,6 +117,7 @@ mod tests {
             net_messages: 0,
             net_queued_cycles: 0,
             obs: None,
+            metrics: None,
         }
     }
 

@@ -167,6 +167,13 @@ impl Network {
         self.input_ports.iter().map(Resource::queued_cycles).sum()
     }
 
+    /// Cumulative cycles messages have spent queued at `node`'s input
+    /// port — the per-node slice of [`Self::port_queued_cycles`], used by
+    /// the periodic net sampler.
+    pub fn port_queued_at(&self, node: NodeId) -> Cycles {
+        self.input_ports[node.idx()].queued_cycles()
+    }
+
     /// Cycles of service still outstanding at `node`'s input port as of
     /// `now` — an instantaneous queue-depth proxy for samplers (0 when
     /// the port is idle).
@@ -256,6 +263,18 @@ mod tests {
         let b = n.send(0, NodeId(1), NodeId(3), 128);
         assert_eq!(a, b);
         assert_eq!(n.port_queued_cycles(), 0);
+    }
+
+    #[test]
+    fn per_node_queued_cycles_sum_to_total() {
+        let mut n = Network::paper(8);
+        n.send(0, NodeId(0), NodeId(2), 128);
+        n.send(0, NodeId(1), NodeId(2), 128);
+        n.send(0, NodeId(3), NodeId(4), 64);
+        let total: Cycles = (0..8).map(|i| n.port_queued_at(NodeId(i))).sum();
+        assert_eq!(total, n.port_queued_cycles());
+        assert!(n.port_queued_at(NodeId(2)) > 0);
+        assert_eq!(n.port_queued_at(NodeId(4)), 0);
     }
 
     #[test]

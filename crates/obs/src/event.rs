@@ -88,6 +88,48 @@ impl BackoffKind {
     }
 }
 
+/// Where a shared-data miss was serviced.
+///
+/// The split mirrors the paper's latency model: a miss either completes
+/// at the local node (home memory, a valid S-COMA block, or the remote
+/// access cache) or crosses the network in a two-hop (home supplies
+/// data) or three-hop (home forwards to the owner) transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissLoc {
+    /// Serviced from the node's own home memory.
+    Home,
+    /// Serviced from a valid local S-COMA block.
+    Scoma,
+    /// Serviced from the remote access cache (CC-NUMA block hit).
+    Rac,
+    /// Two-hop remote transaction (home memory supplied the data).
+    Remote2,
+    /// Three-hop remote transaction (home forwarded to a dirty owner).
+    Remote3,
+}
+
+impl MissLoc {
+    /// Stable lowercase name used in serialized streams.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissLoc::Home => "home",
+            MissLoc::Scoma => "scoma",
+            MissLoc::Rac => "rac",
+            MissLoc::Remote2 => "remote2",
+            MissLoc::Remote3 => "remote3",
+        }
+    }
+
+    /// All locations, in serialization order.
+    pub const ALL: [MissLoc; 5] = [
+        MissLoc::Home,
+        MissLoc::Scoma,
+        MissLoc::Rac,
+        MissLoc::Remote2,
+        MissLoc::Remote3,
+    ];
+}
+
 /// One observable occurrence inside a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
@@ -176,6 +218,8 @@ pub enum Event {
         resident: u32,
         /// Frames short of `free_target`.
         deficit: u32,
+        /// Lowest free count ever observed at this node (low watermark).
+        low: u32,
     },
     /// Periodic sample: a node's current refetch threshold.
     ThresholdSample {
@@ -201,6 +245,66 @@ pub enum Event {
         backlog: Cycles,
         /// Machine-wide messages sent so far.
         messages: u64,
+        /// Cumulative cycles requests spent queued at this node's port.
+        queued: Cycles,
+    },
+    /// Periodic sample: a node's memory-hierarchy counters (L1 cache and
+    /// local bus/DRAM contention).
+    MemSample {
+        /// Sampled node.
+        node: NodeId,
+        /// Cumulative L1 hits.
+        l1_hits: u64,
+        /// Cumulative L1 misses.
+        l1_misses: u64,
+        /// Cumulative cycles queued behind the local bus.
+        bus_queued: Cycles,
+        /// Cumulative cycles queued behind local DRAM banks.
+        dram_queued: Cycles,
+    },
+    /// Measurement: one shared-data miss completed, with its full
+    /// service time (the per-op latency sample behind the percentile
+    /// tables).
+    MissServiced {
+        /// Node that took the miss.
+        node: NodeId,
+        /// Page the missing address belongs to.
+        page: VPage,
+        /// Where the miss was serviced.
+        loc: MissLoc,
+        /// True when the remote fetch was a capacity refetch of a page
+        /// the node had seen before (AS-COMA's relocation signal).
+        refetch: bool,
+        /// End-to-end service time in cycles.
+        cycles: Cycles,
+    },
+    /// Measurement: network queueing delay accumulated by one remote
+    /// transaction (cycles spent waiting behind other messages at input
+    /// ports, excluding wire and occupancy time).
+    NetDelay {
+        /// Node that issued the transaction.
+        node: NodeId,
+        /// Port-queueing cycles the transaction's messages accrued.
+        queued: Cycles,
+    },
+    /// Measurement: kernel page-remap cost paid at a map, upgrade, or
+    /// eviction (TLB/page-table manipulation plus any block flushes).
+    RemapCost {
+        /// Node paying the cost.
+        node: NodeId,
+        /// The page remapped.
+        page: VPage,
+        /// Kernel cycles charged.
+        cycles: Cycles,
+    },
+    /// Measurement: one pageout-daemon invocation's reclaim latency.
+    ReclaimLatency {
+        /// Node whose daemon ran.
+        node: NodeId,
+        /// Pages reclaimed by the epoch.
+        reclaimed: u32,
+        /// Total cycles the epoch consumed (scan plus evictions).
+        cycles: Cycles,
     },
 }
 
@@ -219,6 +323,11 @@ impl Event {
             Event::ThresholdSample { .. } => "threshold",
             Event::MissSample { .. } => "miss",
             Event::NetSample { .. } => "net",
+            Event::MemSample { .. } => "mem",
+            Event::MissServiced { .. } => "miss_serviced",
+            Event::NetDelay { .. } => "net_delay",
+            Event::RemapCost { .. } => "remap_cost",
+            Event::ReclaimLatency { .. } => "reclaim_latency",
         }
     }
 
@@ -235,11 +344,17 @@ impl Event {
             | Event::FreePoolSample { node, .. }
             | Event::ThresholdSample { node, .. }
             | Event::MissSample { node, .. }
-            | Event::NetSample { node, .. } => node,
+            | Event::NetSample { node, .. }
+            | Event::MemSample { node, .. }
+            | Event::MissServiced { node, .. }
+            | Event::NetDelay { node, .. }
+            | Event::RemapCost { node, .. }
+            | Event::ReclaimLatency { node, .. } => node,
         }
     }
 
-    /// True for periodic time-series samples, false for transitions.
+    /// True for periodic time-series samples, false for transitions and
+    /// measurements.
     pub fn is_sample(&self) -> bool {
         matches!(
             self,
@@ -247,6 +362,21 @@ impl Event {
                 | Event::ThresholdSample { .. }
                 | Event::MissSample { .. }
                 | Event::NetSample { .. }
+                | Event::MemSample { .. }
+        )
+    }
+
+    /// True for per-occurrence latency/cost measurements (the events the
+    /// metrics registry folds into histograms).  Disjoint from
+    /// [`Self::is_sample`]; everything that is neither is a lifecycle
+    /// transition.
+    pub fn is_measurement(&self) -> bool {
+        matches!(
+            self,
+            Event::MissServiced { .. }
+                | Event::NetDelay { .. }
+                | Event::RemapCost { .. }
+                | Event::ReclaimLatency { .. }
         )
     }
 }
@@ -327,11 +457,12 @@ impl TimedEvent {
                 free,
                 resident,
                 deficit,
+                low,
                 ..
             } => {
                 let _ = write!(
                     out,
-                    ",\"free\":{free},\"resident\":{resident},\"deficit\":{deficit}"
+                    ",\"free\":{free},\"resident\":{resident},\"deficit\":{deficit},\"low\":{low}"
                 );
             }
             Event::ThresholdSample { threshold, .. } => {
@@ -341,9 +472,52 @@ impl TimedEvent {
                 let _ = write!(out, ",\"total\":{total},\"remote\":{remote}");
             }
             Event::NetSample {
-                backlog, messages, ..
+                backlog,
+                messages,
+                queued,
+                ..
             } => {
-                let _ = write!(out, ",\"backlog\":{backlog},\"messages\":{messages}");
+                let _ = write!(
+                    out,
+                    ",\"backlog\":{backlog},\"messages\":{messages},\"queued\":{queued}"
+                );
+            }
+            Event::MemSample {
+                l1_hits,
+                l1_misses,
+                bus_queued,
+                dram_queued,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"l1_hits\":{l1_hits},\"l1_misses\":{l1_misses},\"bus_queued\":{bus_queued},\"dram_queued\":{dram_queued}"
+                );
+            }
+            Event::MissServiced {
+                page,
+                loc,
+                refetch,
+                cycles,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"page\":{},\"loc\":\"{}\",\"refetch\":{refetch},\"cycles\":{cycles}",
+                    page.0,
+                    loc.name()
+                );
+            }
+            Event::NetDelay { queued, .. } => {
+                let _ = write!(out, ",\"queued\":{queued}");
+            }
+            Event::RemapCost { page, cycles, .. } => {
+                let _ = write!(out, ",\"page\":{},\"cycles\":{cycles}", page.0);
+            }
+            Event::ReclaimLatency {
+                reclaimed, cycles, ..
+            } => {
+                let _ = write!(out, ",\"reclaimed\":{reclaimed},\"cycles\":{cycles}");
             }
         }
         out.push('}');
@@ -409,6 +583,7 @@ mod tests {
                 free: 1,
                 resident: 2,
                 deficit: 0,
+                low: 1,
             },
             Event::ThresholdSample {
                 node: NodeId(0),
@@ -423,6 +598,35 @@ mod tests {
                 node: NodeId(0),
                 backlog: 0,
                 messages: 9,
+                queued: 0,
+            },
+            Event::MemSample {
+                node: NodeId(0),
+                l1_hits: 100,
+                l1_misses: 4,
+                bus_queued: 12,
+                dram_queued: 3,
+            },
+            Event::MissServiced {
+                node: NodeId(0),
+                page: VPage(1),
+                loc: MissLoc::Remote2,
+                refetch: true,
+                cycles: 180,
+            },
+            Event::NetDelay {
+                node: NodeId(0),
+                queued: 14,
+            },
+            Event::RemapCost {
+                node: NodeId(0),
+                page: VPage(1),
+                cycles: 500,
+            },
+            Event::ReclaimLatency {
+                node: NodeId(0),
+                reclaimed: 3,
+                cycles: 2100,
             },
         ];
         let mut kinds: Vec<_> = evs.iter().map(|e| e.kind()).collect();
@@ -454,7 +658,8 @@ mod tests {
         assert!(Event::NetSample {
             node: NodeId(0),
             backlog: 0,
-            messages: 0
+            messages: 0,
+            queued: 0
         }
         .is_sample());
         assert!(!Event::UpgradeDeclined {
@@ -462,6 +667,54 @@ mod tests {
             page: VPage(0)
         }
         .is_sample());
+    }
+
+    #[test]
+    fn measurement_classification_is_disjoint() {
+        let m = Event::MissServiced {
+            node: NodeId(0),
+            page: VPage(2),
+            loc: MissLoc::Home,
+            refetch: false,
+            cycles: 40,
+        };
+        assert!(m.is_measurement());
+        assert!(!m.is_sample());
+        let s = Event::MemSample {
+            node: NodeId(0),
+            l1_hits: 0,
+            l1_misses: 0,
+            bus_queued: 0,
+            dram_queued: 0,
+        };
+        assert!(s.is_sample());
+        assert!(!s.is_measurement());
+        let t = Event::PageMapped {
+            node: NodeId(0),
+            page: VPage(2),
+            mode: MapMode::Home,
+        };
+        assert!(!t.is_sample());
+        assert!(!t.is_measurement());
+    }
+
+    #[test]
+    fn miss_serviced_json_carries_location() {
+        let te = TimedEvent {
+            cycle: 77,
+            event: Event::MissServiced {
+                node: NodeId(2),
+                page: VPage(9),
+                loc: MissLoc::Remote3,
+                refetch: true,
+                cycles: 312,
+            },
+        };
+        let j = te.to_json();
+        assert!(j.contains("\"kind\":\"miss_serviced\""));
+        assert!(j.contains("\"loc\":\"remote3\""));
+        assert!(j.contains("\"refetch\":true"));
+        assert!(j.contains("\"cycles\":312"));
     }
 
     #[test]

@@ -154,10 +154,12 @@ pub fn chrome_trace(events: &[TimedEvent], nodes: usize) -> String {
                 free,
                 resident,
                 deficit,
+                low,
             } => {
                 let name = format!("free_pool/node{}", node.0);
-                let series =
-                    format!("\"free\":{free},\"resident\":{resident},\"deficit\":{deficit}");
+                let series = format!(
+                    "\"free\":{free},\"resident\":{resident},\"deficit\":{deficit},\"low\":{low}"
+                );
                 push_counter(&mut out, &name, ts, tid, &series);
             }
             Event::ThresholdSample { node, threshold } => {
@@ -178,10 +180,53 @@ pub fn chrome_trace(events: &[TimedEvent], nodes: usize) -> String {
                 node,
                 backlog,
                 messages,
+                queued,
             } => {
                 let name = format!("net/node{}", node.0);
-                let series = format!("\"backlog\":{backlog},\"messages\":{messages}");
+                let series =
+                    format!("\"backlog\":{backlog},\"messages\":{messages},\"queued\":{queued}");
                 push_counter(&mut out, &name, ts, tid, &series);
+            }
+            Event::MemSample {
+                node,
+                l1_hits,
+                l1_misses,
+                bus_queued,
+                dram_queued,
+            } => {
+                let name = format!("mem/node{}", node.0);
+                let series = format!(
+                    "\"l1_hits\":{l1_hits},\"l1_misses\":{l1_misses},\"bus_queued\":{bus_queued},\"dram_queued\":{dram_queued}"
+                );
+                push_counter(&mut out, &name, ts, tid, &series);
+            }
+            Event::MissServiced {
+                page,
+                loc,
+                refetch,
+                cycles,
+                ..
+            } => {
+                let args = format!(
+                    "\"page\":{},\"loc\":\"{}\",\"refetch\":{refetch},\"cycles\":{cycles}",
+                    page.0,
+                    loc.name()
+                );
+                push_instant(&mut out, "miss_serviced", ts, tid, &args);
+            }
+            Event::NetDelay { queued, .. } => {
+                let args = format!("\"queued\":{queued}");
+                push_instant(&mut out, "net_delay", ts, tid, &args);
+            }
+            Event::RemapCost { page, cycles, .. } => {
+                let args = format!("\"page\":{},\"cycles\":{cycles}", page.0);
+                push_instant(&mut out, "remap_cost", ts, tid, &args);
+            }
+            Event::ReclaimLatency {
+                reclaimed, cycles, ..
+            } => {
+                let args = format!("\"reclaimed\":{reclaimed},\"cycles\":{cycles}");
+                push_instant(&mut out, "reclaim_latency", ts, tid, &args);
             }
         }
     }
@@ -275,6 +320,7 @@ mod tests {
                     free: 3,
                     resident: 9,
                     deficit: 0,
+                    low: 3,
                 },
             },
             TimedEvent {

@@ -18,7 +18,13 @@
 //! * exporters to JSONL and Chrome `trace_event` JSON (loadable in
 //!   Perfetto / `chrome://tracing`) in [`export`];
 //! * a [`summary`] API folding a trace back into per-page lifecycle
-//!   histories, per-node threshold trajectories and daemon-epoch records.
+//!   histories, per-node threshold trajectories and daemon-epoch records;
+//! * a [`metrics`] registry folding measurement events into per-node,
+//!   per-class latency histograms, windowed time series, and hot-page
+//!   tallies, with an integer-only [`MetricsDigest`] compared by
+//!   `bench diff`;
+//! * a dependency-free JSON reader ([`json`], [`import`]) so archived
+//!   JSONL traces round-trip back into typed events.
 //!
 //! Event cycles come from the emitting node's clock, and the simulator is
 //! deterministic, so two identical runs produce byte-identical streams.
@@ -27,10 +33,15 @@
 
 pub mod event;
 pub mod export;
+pub mod import;
+pub mod json;
+pub mod metrics;
 pub mod sink;
 pub mod summary;
 
-pub use event::{BackoffKind, Event, EvictCause, MapMode, TimedEvent};
+pub use event::{BackoffKind, Event, EvictCause, MapMode, MissLoc, TimedEvent};
+pub use import::{parse_event_line, parse_jsonl};
+pub use metrics::{HistStat, MetricsDigest, MetricsRegistry, MetricsSink};
 pub use sink::{JsonlSink, NoopSink, RingSink, Sink, VecSink};
 pub use summary::{
     summarize, summarize_lossy, DaemonEpochRecord, LifecycleViolation, PageLifecycle, Summary,

@@ -186,7 +186,7 @@ fn fold(events: &[TimedEvent], nodes: usize) -> (Summary, Vec<LifecycleViolation
 
     for te in events {
         s.last_cycle = s.last_cycle.max(te.cycle);
-        if !te.event.is_sample() {
+        if !te.event.is_sample() && !te.event.is_measurement() {
             s.transitions += 1;
         }
         match te.event {
@@ -303,7 +303,12 @@ fn fold(events: &[TimedEvent], nodes: usize) -> (Summary, Vec<LifecycleViolation
             Event::FreePoolSample { .. }
             | Event::ThresholdSample { .. }
             | Event::MissSample { .. }
-            | Event::NetSample { .. } => {}
+            | Event::NetSample { .. }
+            | Event::MemSample { .. }
+            | Event::MissServiced { .. }
+            | Event::NetDelay { .. }
+            | Event::RemapCost { .. }
+            | Event::ReclaimLatency { .. } => {}
         }
     }
     (s, violations)
@@ -379,6 +384,7 @@ mod tests {
                     free: 2,
                     resident: 6,
                     deficit: 1,
+                    low: 2,
                 },
             },
         ]

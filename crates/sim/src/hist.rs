@@ -116,6 +116,11 @@ impl Histogram {
         s
     }
 
+    /// Sum of all samples recorded.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if self.buckets.len() < other.buckets.len() {
@@ -128,6 +133,80 @@ impl Histogram {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
     }
+
+    /// The value at quantile `p` in `[0, 1]` (0 when empty).
+    ///
+    /// Bucket-resolution estimate with deterministic integer
+    /// interpolation: the `c` samples of a bucket are assumed evenly
+    /// spread over `(lo, hi]`, where `hi` is clamped to [`Self::max`] in
+    /// the topmost occupied bucket (no sample exceeds the recorded
+    /// maximum).  `percentile(1.0)` therefore returns `max()` exactly,
+    /// and a single-sample histogram returns that sample's bucket upper
+    /// bound (= the sample itself, via the clamp).  All arithmetic is
+    /// integral, so the result is serialization-stable across platforms.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // 1-based rank of the sample bounding fraction p from below.
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let top = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or_default();
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let (lo, hi) = Self::bucket_range(i);
+                let hi = if i == top { self.max } else { hi };
+                if hi <= lo {
+                    return lo;
+                }
+                let pos = target - seen; // 1-based within this bucket
+                return lo + ((hi - lo) as u128 * pos as u128 / c as u128) as u64;
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// A serialization-stable digest of this histogram: every field is an
+    /// integer computed by [`Self::percentile`]'s deterministic
+    /// interpolation, so two identical runs digest byte-identically on
+    /// any platform.
+    pub fn digest(&self) -> HistDigest {
+        HistDigest {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// Integer-only summary of a [`Histogram`] — the unit the metrics layer
+/// serializes and the regression differ compares.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistDigest {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
 }
 
 #[cfg(test)]
@@ -189,6 +268,95 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max(), 100);
         assert_eq!(a.at_least(64), 1);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(1.0), 0);
+        assert_eq!(h.digest(), HistDigest::default());
+    }
+
+    #[test]
+    fn percentile_single_sample_returns_it() {
+        let mut h = Histogram::new();
+        h.record(37);
+        // One sample: every quantile is that sample (top-bucket hi is
+        // clamped to max, and pos/c == 1/1).
+        assert_eq!(h.percentile(0.0), 37);
+        assert_eq!(h.percentile(0.5), 37);
+        assert_eq!(h.percentile(1.0), 37);
+    }
+
+    #[test]
+    fn percentile_single_bucket_interpolates() {
+        let mut h = Histogram::new();
+        // Four samples, all in bucket [64,127]; max = 127 so hi is the
+        // true bucket bound and interpolation is across (64, 127].
+        for v in [64u64, 80, 100, 127] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1.0), 127);
+        // p=0.5 → rank 2 of 4 → 64 + 63*2/4 = 95.
+        assert_eq!(h.percentile(0.5), 95);
+        // p→0 clamps to rank 1 → 64 + 63/4 = 79.
+        assert_eq!(h.percentile(0.0), 79);
+    }
+
+    #[test]
+    fn percentile_crosses_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(3); // bucket [2,3]
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket [512,1023]
+        }
+        // p50 and p90 stay in the low bucket, p95/p99 jump to the tail.
+        assert_eq!(h.percentile(0.50), 2); // rank 50 of 90 in [2,3]
+        assert!(h.percentile(0.90) <= 3);
+        let p95 = h.percentile(0.95);
+        assert!((512..=1000).contains(&p95), "p95 = {p95}");
+        assert_eq!(h.percentile(1.0), 1000);
+    }
+
+    #[test]
+    fn percentile_all_zeros() {
+        let mut h = Histogram::new();
+        for _ in 0..5 {
+            h.record(0);
+        }
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn percentile_one_is_exactly_max() {
+        let mut h = Histogram::new();
+        for v in [1u64, 7, 33, 900, 77, 12] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1.0), 900);
+        assert_eq!(h.digest().max, h.digest().p99.max(h.digest().max));
+    }
+
+    #[test]
+    fn merge_then_percentile_matches_combined() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.record(v * 3);
+            } else {
+                b.record(v * 3);
+            }
+            all.record(v * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.digest(), all.digest());
     }
 
     #[test]

@@ -30,4 +30,5 @@ run ablation_associativity       > results/ablation_associativity.txt
 run scaling                      > results/scaling.txt
 run validate_claims              > results/validate_claims.txt
 run perf_baseline -- --check --out BENCH_perf.json
+run perf_baseline -- --grid reduced --check --out results/BENCH_perf_reduced.json
 echo "done; results/ refreshed in $((SECONDS - start))s total wall-clock" >&2

@@ -10,10 +10,13 @@
 //!   em3d/70% acceptance trace contains daemon epochs, back-off events
 //!   and CC-NUMA→S-COMA upgrades.
 
-use ascoma::machine::{simulate, simulate_traced, simulate_with_sink};
+use ascoma::machine::{simulate, simulate_measured, simulate_traced, simulate_with_sink};
+use ascoma::parallel::run_indexed;
 use ascoma::{Arch, SimConfig};
 use ascoma_obs::export::{chrome_trace, jsonl_string, validate_json};
-use ascoma_obs::{summarize, Event, NoopSink, TimedEvent};
+use ascoma_obs::{
+    parse_jsonl, summarize, Event, MetricsRegistry, MetricsSink, NoopSink, TimedEvent,
+};
 use ascoma_workloads::apps::em3d::Em3dParams;
 use ascoma_workloads::{App, SizeClass};
 
@@ -154,6 +157,73 @@ fn acceptance_trace_em3d_70_pct() {
     assert!(s.upgrades > 0);
     assert!(s.relocated_pairs() > 0);
     assert!(result.cycles > 0);
+}
+
+#[test]
+fn jsonl_export_round_trips_through_import() {
+    // An archived JSONL trace re-imported through the dependency-free
+    // JSON reader must reproduce the in-memory stream exactly — and
+    // therefore the same lifecycle summary and metrics digest.
+    let trace = App::Em3d.build(SizeClass::Tiny, 4096);
+    let (_r, events) = simulate_traced(&trace, Arch::AsComa, &traced_cfg(0.7));
+    let text = jsonl_string(&events);
+    let imported = parse_jsonl(&text).expect("exported JSONL must re-import");
+    assert_eq!(events, imported, "round trip must be lossless");
+    assert_eq!(
+        summarize(&events, trace.nodes),
+        summarize(&imported, trace.nodes)
+    );
+    let window = 50_000;
+    assert_eq!(
+        MetricsRegistry::from_events(&events, trace.nodes, window).digest(),
+        MetricsRegistry::from_events(&imported, trace.nodes, window).digest()
+    );
+}
+
+#[test]
+fn online_metrics_sink_matches_offline_registry() {
+    // Folding events as they are emitted (constant memory) must produce
+    // the same registry as recording the stream and folding afterwards.
+    let trace = App::Em3d.build(SizeClass::Tiny, 4096);
+    let cfg = traced_cfg(0.7);
+    let window = 50_000;
+    let (result, events, offline) = simulate_measured(&trace, Arch::AsComa, &cfg, window);
+    let (_r, sink) = simulate_with_sink(
+        &trace,
+        Arch::AsComa,
+        &cfg,
+        MetricsSink::new(trace.nodes, window),
+    );
+    assert_eq!(sink.registry, offline);
+    assert_eq!(result.metrics, Some(offline.digest()));
+    assert!(
+        !events.is_empty() && offline.digest().hist("miss_service/home").is_some(),
+        "measured run must populate the digest"
+    );
+}
+
+#[test]
+fn metrics_digest_is_identical_across_job_counts() {
+    // The digest is a pure function of the deterministic event stream,
+    // so sweeping cells through 1 worker or 4 must yield the same bytes.
+    let trace = App::Em3d.build(SizeClass::Tiny, 4096);
+    let cells = [
+        (Arch::AsComa, 0.5),
+        (Arch::AsComa, 0.9),
+        (Arch::Scoma, 0.7),
+        (Arch::RNuma, 0.7),
+    ];
+    let run = |jobs: usize| {
+        run_indexed(cells.len(), jobs, |i| {
+            let (arch, p) = cells[i];
+            let (result, _events, _reg) = simulate_measured(&trace, arch, &traced_cfg(p), 50_000);
+            (result.metrics, result.cycles)
+        })
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel);
+    assert!(serial.iter().all(|(m, _)| m.is_some()));
 }
 
 #[test]
