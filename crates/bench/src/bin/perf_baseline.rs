@@ -94,6 +94,9 @@ fn run_grid(
     })
 }
 
+// The baseline's wall-clock sections (trace build, serial, parallel)
+// are measurements, the one place Instant is allowed.
+#[allow(clippy::disallowed_methods)]
 fn main() {
     let args = parse_args();
     let base = SimConfig::default();

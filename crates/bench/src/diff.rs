@@ -93,6 +93,21 @@ fn is_advisory(key: &str) -> bool {
     ADVISORY_KEYS.contains(&key)
 }
 
+/// Severity of a value present in the baseline but absent from the new
+/// run.  Classified by what was actually lost, not by the key name
+/// alone: removing a whole subtree is a hard regression iff it contained
+/// at least one deterministic leaf.  A subtree of purely host-dependent
+/// leaves (e.g. a skipped timing section) stays advisory.
+fn removed_is_regression(key: &str, v: &Json) -> bool {
+    match v {
+        Json::Obj(m) => m.iter().any(|(k, val)| removed_is_regression(k, val)),
+        // Array elements have no key of their own; they inherit the
+        // array's (matching how `walk` compares element leaves).
+        Json::Arr(a) => a.iter().any(|val| removed_is_regression(key, val)),
+        _ => !is_advisory(key),
+    }
+}
+
 fn type_name(v: &Json) -> &'static str {
     match v {
         Json::Null => "null",
@@ -127,10 +142,10 @@ fn walk(path: &str, key: &str, old: &Json, new: &Json, rep: &mut DiffReport) {
                 match nm.iter().find(|(nk, _)| nk == k) {
                     Some((_, nv)) => walk(&join(path, k), k, ov, nv, rep),
                     None => {
-                        let sev = if is_advisory(k) {
-                            Severity::Advisory
-                        } else {
+                        let sev = if removed_is_regression(k, ov) {
                             Severity::Regression
+                        } else {
+                            Severity::Advisory
                         };
                         push(rep, &join(path, k), sev, "missing in new run".into());
                     }
@@ -274,6 +289,36 @@ mod tests {
         assert!(!rep.has_regressions());
         assert_eq!(rep.of(Severity::Advisory).count(), 1);
         assert_eq!(rep.of(Severity::Warning).count(), 1);
+    }
+
+    #[test]
+    fn removed_subtree_with_deterministic_leaves_is_a_regression() {
+        // The whole counters section vanished: its leaves are
+        // deterministic, so the diff must hard-fail even though the
+        // subtree key itself is not in ADVISORY_KEYS.
+        let old = j(r#"{"counters":{"sim_cycles":1,"wall_secs":3.0},"cells":18}"#);
+        let new = j(r#"{"cells":18}"#);
+        let rep = diff(&old, &new);
+        assert!(rep.has_regressions());
+        assert_eq!(rep.findings[0].path, "counters");
+        assert_eq!(rep.findings[0].severity, Severity::Regression);
+    }
+
+    #[test]
+    fn removed_subtree_of_only_advisory_leaves_stays_advisory() {
+        // A skipped timing section loses only host-dependent leaves.
+        let old = j(r#"{"timing":{"wall_secs":10.0,"cells_per_sec":5.0},"cells":18}"#);
+        let new = j(r#"{"cells":18}"#);
+        let rep = diff(&old, &new);
+        assert!(!rep.has_regressions());
+        assert_eq!(rep.of(Severity::Advisory).count(), 1);
+    }
+
+    #[test]
+    fn removed_array_of_deterministic_values_is_a_regression() {
+        let old = j(r#"{"per_cell":[1,2,3]}"#);
+        let new = j(r#"{}"#);
+        assert!(diff(&old, &new).has_regressions());
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub struct Measurement {
 
 /// Time `f` over `samples` batches of `iters` iterations each (plus one
 /// warm-up batch), printing and returning the per-iteration median.
+// Wall-clock reads are this function's whole purpose.
+#[allow(clippy::disallowed_methods)]
 pub fn bench<R>(name: &str, samples: usize, iters: usize, mut f: impl FnMut() -> R) -> Measurement {
     assert!(samples >= 1 && iters >= 1);
     for _ in 0..iters {

@@ -1,19 +1,32 @@
-//! CLI driver for the protocol model checker.
+//! CLI driver for the protocol model checker and conformance gates.
 //!
-//! With no arguments, runs the CI gate: every smoke configuration must
-//! explore completely with zero violations, and every seeded protocol
-//! mutation must be *detected*.  Counterexample traces are written as
-//! JSONL under `--out-dir` (default `counterexamples/`) — on a clean run
-//! only the expected mutation traces appear there.
+//! Three subcommands (the first one is the default when omitted):
 //!
-//! A single configuration can be explored explicitly:
+//! * `model` — the PR 3 gate over the message-level protocol model:
+//!   every smoke configuration must explore completely with zero
+//!   violations, and every seeded protocol mutation must be *detected*.
+//!   Counterexamples are ddmin-shrunk before being written as JSONL
+//!   under `--out-dir` (default `counterexamples/`).
+//! * `conform` — the same gate over the **production** proto/vm/mem
+//!   state machines (requires `--features check`): every conformance
+//!   configuration is explored twice, exhaustively (BFS) and with DPOR,
+//!   which must agree on cleanliness while DPOR visits strictly fewer
+//!   states; every seeded production fault must be caught and shrunk.
+//! * `liveness` — lasso search over the conformance configurations
+//!   (requires `--features check`): clean configurations must be free
+//!   of non-progress cycles *with the max-back-off latch actually
+//!   covered*, and the seeded `skip-reset` fault must produce a
+//!   livelock witness.
+//!
+//! A single model configuration can still be explored explicitly:
 //!
 //! ```text
 //! model_check --nodes 3 --pages 2 --blocks-per-page 1 --ops 2 [--mutation skip-inval]
 //! ```
 
-use ascoma_check::model::{ModelConfig, Mutation};
-use ascoma_check::{explore, ExploreOutcome};
+use ascoma_check::model::{ModelConfig, ModelHarness, Mutation};
+use ascoma_check::shrink::shrink;
+use ascoma_check::{explore, replay_on, Counterexample, ExploreOutcome};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -55,19 +68,38 @@ fn report(cfg: &ModelConfig, out: &ExploreOutcome) {
     );
 }
 
+/// Shrink a model counterexample and re-derive its detail string from
+/// the minimized replay (the original detail may mention steps that were
+/// dropped).
+fn shrunk_model_cex(cfg: &ModelConfig, cex: &Counterexample) -> Counterexample {
+    let h = ModelHarness::new(*cfg);
+    let trace = shrink(&h, &cex.invariant, &cex.detail, &cex.trace);
+    let detail = match replay_on(&h, &trace) {
+        Some((_, d)) => d,
+        None => cex.detail.clone(),
+    };
+    Counterexample {
+        invariant: cex.invariant.clone(),
+        detail,
+        trace,
+    }
+}
+
 /// Run one clean configuration; returns false on any violation or an
 /// incomplete exploration.
 fn run_clean(cfg: &ModelConfig, max_states: usize, out_dir: &Path) -> bool {
     let out = explore(cfg, max_states);
     report(cfg, &out);
     if let Some(cex) = &out.violation {
+        let small = shrunk_model_cex(cfg, cex);
         println!(
-            "  VIOLATION [{}] {} ({} steps)",
-            cex.invariant,
-            cex.detail,
+            "  VIOLATION [{}] {} ({} steps, shrunk from {})",
+            small.invariant,
+            small.detail,
+            small.trace.len(),
             cex.trace.len()
         );
-        write_trace(out_dir, &cfg.label(), &cex.to_jsonl());
+        write_trace(out_dir, &cfg.label(), &small.to_jsonl());
         return false;
     }
     if !out.complete {
@@ -78,8 +110,8 @@ fn run_clean(cfg: &ModelConfig, max_states: usize, out_dir: &Path) -> bool {
 }
 
 /// Run one mutated configuration; returns false if the seeded bug is NOT
-/// caught.  The counterexample trace is always written (it documents what
-/// the checker sees when the protocol is broken).
+/// caught.  The shrunk counterexample trace is always written (it
+/// documents what the checker sees when the protocol is broken).
 fn run_mutation(m: Mutation, max_states: usize, out_dir: &Path) -> bool {
     let cfg = ModelConfig {
         mutation: Some(m),
@@ -89,13 +121,15 @@ fn run_mutation(m: Mutation, max_states: usize, out_dir: &Path) -> bool {
     report(&cfg, &out);
     match &out.violation {
         Some(cex) => {
+            let small = shrunk_model_cex(&cfg, cex);
             println!(
-                "  detected [{}] {} ({} steps)",
-                cex.invariant,
-                cex.detail,
+                "  detected [{}] {} ({} steps, shrunk from {})",
+                small.invariant,
+                small.detail,
+                small.trace.len(),
                 cex.trace.len()
             );
-            write_trace(out_dir, &cfg.label(), &cex.to_jsonl());
+            write_trace(out_dir, &cfg.label(), &small.to_jsonl());
             true
         }
         None => {
@@ -105,7 +139,228 @@ fn run_mutation(m: Mutation, max_states: usize, out_dir: &Path) -> bool {
     }
 }
 
+/// Conformance gate: explore the production state machines.  Compiled
+/// only with the `check` feature (the fault hooks it seeds live behind
+/// `cfg(feature = "check")` in the proto/vm crates).
+#[cfg(feature = "check")]
+mod production {
+    use super::write_trace;
+    use ascoma_check::conform::{ConformConfig, ConformHarness, ConformMutation};
+    use ascoma_check::explore::{bfs, dpor};
+    use ascoma_check::liveness::find_lasso;
+    use ascoma_check::shrink::shrink;
+    use ascoma_check::{replay_on, Cex, Harness};
+    use std::path::Path;
+
+    /// The configuration each production fault is seeded into: the
+    /// smallest clean configuration whose action set can expose it.
+    fn fault_config(m: ConformMutation) -> ConformConfig {
+        let base = match m {
+            // A stale L1 line needs only two nodes sharing one block.
+            ConformMutation::SkipInval => ConformConfig::coherence(2, 1, 1, 2),
+            // Frame accounting faults need remap/evict traffic.
+            _ => ConformConfig::remap(2, 2, 1, 3),
+        };
+        ConformConfig {
+            mutation: Some(m),
+            ..base
+        }
+    }
+
+    /// `conform` subcommand body.
+    pub fn conform(max_states: usize, out_dir: &Path) -> bool {
+        let mut ok = true;
+        println!("== clean conformance configurations (BFS vs DPOR)");
+        for cfg in ConformConfig::smoke_suite() {
+            let h = ConformHarness::new(cfg);
+            let full = bfs(&h, max_states);
+            let reduced = dpor(&h, max_states);
+            let pct = if full.states > 0 {
+                100.0 * reduced.states as f64 / full.states as f64
+            } else {
+                100.0
+            };
+            println!(
+                "{}: BFS {} states / {} transitions, DPOR {} states ({pct:.1}%){}",
+                cfg.label(),
+                full.states,
+                full.transitions,
+                reduced.states,
+                if full.complete && reduced.complete {
+                    ""
+                } else {
+                    " (incomplete)"
+                },
+            );
+            if !full.complete || !reduced.complete {
+                println!("  INCOMPLETE: state cap {max_states} hit");
+                ok = false;
+                continue;
+            }
+            for (engine, cex) in [("BFS", &full.violation), ("DPOR", &reduced.violation)] {
+                if let Some(cex) = cex {
+                    println!(
+                        "  VIOLATION ({engine}) [{}] {} ({} steps)",
+                        cex.invariant,
+                        cex.detail,
+                        cex.trace.len()
+                    );
+                    write_trace(out_dir, &cfg.label(), &cex.to_jsonl(&h));
+                    ok = false;
+                }
+            }
+            if full.violation.is_none() && reduced.states >= full.states {
+                println!(
+                    "  NO REDUCTION: DPOR {} states >= BFS {}",
+                    reduced.states, full.states
+                );
+                ok = false;
+            }
+        }
+        println!("== seeded production faults (must be detected)");
+        for m in ConformMutation::SAFETY {
+            let cfg = fault_config(m);
+            let h = ConformHarness::new(cfg);
+            let out = bfs(&h, max_states);
+            match out.violation {
+                Some(cex) => {
+                    let trace = shrink(&h, &cex.invariant, &cex.detail, &cex.trace);
+                    let detail = match replay_on(&h, &trace) {
+                        Some((_, d)) => d,
+                        None => cex.detail.clone(),
+                    };
+                    println!(
+                        "{}: detected [{}] {} ({} steps, shrunk from {})",
+                        cfg.label(),
+                        cex.invariant,
+                        detail,
+                        trace.len(),
+                        cex.trace.len()
+                    );
+                    let small = Cex {
+                        invariant: cex.invariant,
+                        detail,
+                        trace,
+                    };
+                    write_trace(out_dir, &cfg.label(), &small.to_jsonl(&h));
+                }
+                None => {
+                    println!(
+                        "{}: NOT DETECTED: fault {} escaped the checker",
+                        cfg.label(),
+                        m.name()
+                    );
+                    ok = false;
+                }
+            }
+        }
+        ok
+    }
+
+    /// `liveness` subcommand body.
+    pub fn liveness(max_states: usize, out_dir: &Path) -> bool {
+        let mut ok = true;
+        println!("== livelock freedom (clean configurations)");
+        for cfg in ConformConfig::liveness_suite() {
+            let h = ConformHarness::new(cfg);
+            let out = match find_lasso(&h, max_states, |s| s.any_relocation_disabled()) {
+                Ok(out) => out,
+                Err(e) => {
+                    println!("{}: ERROR: {e}", cfg.label());
+                    ok = false;
+                    continue;
+                }
+            };
+            println!(
+                "{}: {} states, {} transitions, {} latched states{}",
+                cfg.label(),
+                out.states,
+                out.transitions,
+                out.interesting,
+                if out.complete { "" } else { " (incomplete)" },
+            );
+            if !out.complete {
+                println!("  INCOMPLETE: state cap {max_states} hit — proves nothing");
+                ok = false;
+                continue;
+            }
+            if let Some(lasso) = &out.lasso {
+                println!(
+                    "  LIVELOCK: stem {} + cycle {} actions",
+                    lasso.stem.len(),
+                    lasso.cycle.len()
+                );
+                write_trace(
+                    out_dir,
+                    &format!("{}-lasso", cfg.label()),
+                    &lasso_jsonl(&h, lasso),
+                );
+                ok = false;
+            }
+            if cfg.pageout && out.interesting == 0 {
+                println!("  VACUOUS: max back-off latch never reached");
+                ok = false;
+            }
+        }
+        println!("== seeded livelock (must be found)");
+        let cfg = ConformConfig {
+            mutation: Some(ConformMutation::SkipReset),
+            ..ConformConfig::remap(2, 2, 1, 3)
+        };
+        let h = ConformHarness::new(cfg);
+        match find_lasso(&h, max_states, |_| false) {
+            Ok(out) => match out.lasso {
+                Some(lasso) => {
+                    println!(
+                        "{}: livelock found (stem {} + cycle {} actions)",
+                        cfg.label(),
+                        lasso.stem.len(),
+                        lasso.cycle.len()
+                    );
+                    write_trace(
+                        out_dir,
+                        &format!("{}-lasso", cfg.label()),
+                        &lasso_jsonl(&h, &lasso),
+                    );
+                }
+                None => {
+                    println!("{}: NOT FOUND: skip-reset livelock escaped", cfg.label());
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                println!("{}: ERROR: {e}", cfg.label());
+                ok = false;
+            }
+        }
+        ok
+    }
+
+    /// Render a lasso as JSONL: a header, the stem actions, then the
+    /// cycle actions (step numbering continues through the cycle).
+    fn lasso_jsonl<H: Harness>(h: &H, lasso: &ascoma_check::Lasso<H::Action>) -> String {
+        let mut out = format!(
+            "{{\"lasso\":true,\"stem\":{},\"cycle\":{}}}\n",
+            lasso.stem.len(),
+            lasso.cycle.len()
+        );
+        for (i, a) in lasso.stem.iter().chain(lasso.cycle.iter()).enumerate() {
+            out.push_str(&h.action_json(a, i));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Cmd {
+    Model,
+    Conform,
+    Liveness,
+}
+
 struct Args {
+    cmd: Cmd,
     nodes: Option<u8>,
     pages: u8,
     blocks_per_page: u8,
@@ -117,6 +372,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        cmd: Cmd::Model,
         nodes: None,
         pages: 1,
         blocks_per_page: 1,
@@ -125,7 +381,24 @@ fn parse_args() -> Result<Args, String> {
         max_states: DEFAULT_MAX_STATES,
         out_dir: PathBuf::from("counterexamples"),
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if let Some(first) = it.peek() {
+        match first.as_str() {
+            "model" => {
+                args.cmd = Cmd::Model;
+                it.next();
+            }
+            "conform" => {
+                args.cmd = Cmd::Conform;
+                it.next();
+            }
+            "liveness" => {
+                args.cmd = Cmd::Liveness;
+                it.next();
+            }
+            _ => {}
+        }
+    }
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
@@ -154,15 +427,7 @@ fn parse_num(s: &str) -> Result<u8, String> {
     s.parse().map_err(|e| format!("bad number {s:?}: {e}"))
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("model_check: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
+fn run_model(args: &Args) -> bool {
     let mut ok = true;
     match args.nodes {
         // Explicit single configuration.
@@ -181,8 +446,9 @@ fn main() -> ExitCode {
                     report(&cfg, &out);
                     match &out.violation {
                         Some(cex) => {
-                            println!("  detected [{}] {}", cex.invariant, cex.detail);
-                            write_trace(&args.out_dir, &cfg.label(), &cex.to_jsonl());
+                            let small = shrunk_model_cex(&cfg, cex);
+                            println!("  detected [{}] {}", small.invariant, small.detail);
+                            write_trace(&args.out_dir, &cfg.label(), &small.to_jsonl());
                             true
                         }
                         None => {
@@ -206,6 +472,34 @@ fn main() -> ExitCode {
             }
         }
     }
+    ok
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("model_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let ok = match args.cmd {
+        Cmd::Model => run_model(&args),
+        #[cfg(feature = "check")]
+        Cmd::Conform => production::conform(args.max_states, &args.out_dir),
+        #[cfg(feature = "check")]
+        Cmd::Liveness => production::liveness(args.max_states, &args.out_dir),
+        #[cfg(not(feature = "check"))]
+        Cmd::Conform | Cmd::Liveness => {
+            eprintln!(
+                "model_check: this subcommand drives the production state machines and \
+                 needs the fault hooks; rebuild with `cargo build -p ascoma-check \
+                 --features check --bin model_check`"
+            );
+            false
+        }
+    };
 
     if ok {
         println!("model_check: OK");

@@ -1,0 +1,65 @@
+//! The [`Harness`] trait: anything the explorers can drive.
+//!
+//! PR 3's checker explored a hand-written protocol model.  The harness
+//! abstraction decouples the exploration engines ([`crate::explore`],
+//! [`crate::liveness`]) from *what* is being explored, so the same BFS
+//! and DPOR machinery runs over the legacy model
+//! ([`crate::model::ModelHarness`]) and over the **production**
+//! `proto`/`vm`/`mem` state machines (`crate::conform`, behind the
+//! `check` feature).
+//!
+//! A harness supplies four things:
+//!
+//! 1. a clone-able state snapshot and a *deterministic* step function,
+//! 2. enabled-action enumeration (the exploration branching),
+//! 3. an **injective** canonical encoding of the protocol-relevant
+//!    state — the explorers deduplicate on it, so anything excluded
+//!    (monotone bookkeeping: clocks, statistics, trajectories) must
+//!    never be read by a transition,
+//! 4. a conservative static *dependence* relation for partial-order
+//!    reduction: `dependent(a, b)` may over-approximate (costing only
+//!    reduction), but must return `true` whenever executing `a` and
+//!    `b` in either order can lead to different states or change each
+//!    other's enabledness.
+
+/// A checkable state machine the explorers can drive.
+pub trait Harness {
+    /// Snapshot of the whole machine.  Cloned per transition.
+    type State: Clone;
+    /// One atomic transition.
+    type Action: Clone + PartialEq + std::fmt::Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// All transitions enabled in `s`, in a deterministic order.
+    fn enabled(&self, s: &Self::State) -> Vec<Self::Action>;
+
+    /// Apply `a` to `s`.  `Err(detail)` marks the transition itself as
+    /// illegal (reported as the `illegal-transition` pseudo-invariant).
+    fn step(&self, s: &Self::State, a: &Self::Action) -> Result<Self::State, String>;
+
+    /// Check every invariant in `s`.  `Err((invariant, detail))` on the
+    /// first violation.
+    fn check(&self, s: &Self::State) -> Result<(), (String, String)>;
+
+    /// Injective canonical encoding of the protocol-relevant state.
+    /// Two states with equal encodings must be behaviorally identical
+    /// (encode variable-length parts with a length prefix).
+    fn canon(&self, s: &Self::State) -> Vec<u64>;
+
+    /// Conservative static dependence: must be `true` whenever `a` and
+    /// `b` can fail to commute (in effect or in enabledness).
+    fn dependent(&self, a: &Self::Action, b: &Self::Action) -> bool;
+
+    /// Liveness labeling: `false` for actions that represent no
+    /// application progress (remaps, evictions, daemon runs) — a
+    /// reachable cycle of non-progress actions is a livelock lasso.
+    fn is_progress(&self, a: &Self::Action) -> bool {
+        let _ = a;
+        true
+    }
+
+    /// Render one action as a JSON object (a counterexample trace line).
+    fn action_json(&self, a: &Self::Action, step: usize) -> String;
+}

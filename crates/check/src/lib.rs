@@ -13,15 +13,28 @@
 //!    `check_invariants` config flag), and the layer crates carry
 //!    `debug_assert`-style hooks that compile to nothing in release
 //!    builds unless their `check` feature is enabled.
-//! 2. **Exhaustive model checker** ([`model`], [`explore`]) — a BFS
-//!    explorer that enumerates *every* message-delivery interleaving of a
-//!    small-configuration directory protocol (2–3 nodes, a handful of
-//!    blocks), asserts protocol invariants in every reachable state, and
-//!    reports a minimal counterexample trace when one fails.
-//! 3. **Mutation self-tests** ([`model::Mutation`]) — known protocol bugs
-//!    (skip a sharer invalidation, drop an invalidation ack, serve stale
-//!    memory instead of forwarding to the dirty owner) are injectable so
-//!    the test suite can assert the checker actually catches them.
+//! 2. **Exploration engines** ([`harness`], [`explore`], [`liveness`]) —
+//!    a [`Harness`] trait (clone-able snapshot, enabled-action
+//!    enumeration, deterministic step, injective canonical encoding,
+//!    static dependence) drives three engines: exhaustive BFS, a
+//!    DPOR-reduced DFS (persistent + sleep sets), and a lasso search for
+//!    livelock (a reachable cycle of non-progress actions).
+//!    Counterexamples are ddmin-minimized by [`shrink`] before they are
+//!    written as artifacts.
+//! 3. **Protocol model** ([`model`]) — a small-configuration,
+//!    message-level model of the directory protocol (2–3 nodes, a
+//!    handful of blocks, arbitrary delivery order), packaged as a
+//!    harness ([`model::ModelHarness`]).
+//! 4. **Conformance checking** ([`conform`], `check` feature) — the same
+//!    engines over the **production** `proto`/`vm`/`mem` state machines:
+//!    real `Directory` fetches, page-table remaps, frame-pool
+//!    accounting, pageout-daemon victim selection, and back-off
+//!    automaton, with the PR 3 catalog checked in every explored state.
+//! 5. **Mutation self-tests** ([`model::Mutation`],
+//!    [`conform::ConformMutation`]) — known bugs are injectable (in the
+//!    model, and via `cfg(feature = "check")` fault hooks in the
+//!    production crates) so the test suite can assert the checkers
+//!    actually catch them.
 //!
 //! The lint/sanitizer half of the correctness gate is `scripts/check.sh`
 //! at the repository root (clippy wall, unwrap/expect lint, formatting).
@@ -29,12 +42,20 @@
 #![warn(missing_docs)]
 
 pub mod checkers;
+#[cfg(feature = "check")]
+pub mod conform;
 pub mod explore;
+pub mod harness;
 pub mod invariant;
+pub mod liveness;
 pub mod model;
+pub mod shrink;
 pub mod view;
 
-pub use explore::{explore, Counterexample, ExploreOutcome};
+pub use explore::{bfs, dpor, explore, replay_on, Cex, Counterexample, ExploreOutcome, Outcome};
+pub use harness::Harness;
 pub use invariant::{assert_all, catalog, check_all, Invariant, Violation};
-pub use model::{ModelConfig, Mutation};
+pub use liveness::{find_lasso, Lasso, LivenessOutcome};
+pub use model::{ModelConfig, ModelHarness, Mutation};
+pub use shrink::shrink;
 pub use view::{MachineView, NodeView};

@@ -365,7 +365,10 @@ impl State {
         }
     }
 
-    fn push_msg(&mut self, m: Msg) {
+    /// Insert a message into the sorted in-flight multiset, preserving
+    /// canonical order.  Public so property tests can verify that
+    /// arbitrary insertion orders converge to the same canonical state.
+    pub fn push_msg(&mut self, m: Msg) {
         let pos = self.net.partition_point(|x| x <= &m);
         self.net.insert(pos, m);
     }
@@ -808,4 +811,163 @@ pub fn check_state(cfg: &ModelConfig, s: &State) -> Result<(), (&'static str, St
         }
     }
     Ok(())
+}
+
+/// A static node/block footprint for one model action: which nodes' and
+/// which blocks' state the action may read or write.  Dependence is
+/// footprint overlap; the masks are deliberately conservative (a home
+/// delivery that can dequeue or fan out touches every node).
+fn footprint(a: &Action) -> (u64, u64) {
+    const ALL: u64 = u64::MAX;
+    match a {
+        // Issuing only writes the issuer's pending slot and inserts a
+        // Fetch into the multiset (insertion commutes with everything).
+        Action::Issue { node, .. } => (1 << node, 0),
+        Action::Deliver(m) => match *m {
+            // Home-side deliveries can read the copyset (any node),
+            // invalidate sharers, or dequeue another requester.
+            Msg::Fetch { block, .. } => (ALL, 1 << block),
+            Msg::WbData { block, .. } => (ALL, 1 << block),
+            Msg::Unblock { block } => (ALL, 1 << block),
+            Msg::Forward {
+                owner, req, block, ..
+            } => ((1 << owner) | (1 << req), 1 << block),
+            Msg::Data { dst, block, .. } => (1 << dst, 1 << block),
+            Msg::Inval { dst, block, req } => ((1 << dst) | (1 << req), 1 << block),
+            Msg::InvalAck { dst, block } => (1 << dst, 1 << block),
+        },
+    }
+}
+
+/// The legacy protocol model packaged as a [`Harness`] so the generic
+/// BFS/DPOR engines (and the shrinker) can drive it.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelHarness {
+    cfg: ModelConfig,
+}
+
+impl ModelHarness {
+    /// A harness over one model configuration.
+    pub fn new(cfg: ModelConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+}
+
+fn encode_msg(v: &mut Vec<u64>, m: &Msg) {
+    let f: [u64; 6] = match *m {
+        Msg::Fetch { src, block, write } => [0, src as u64, block as u64, write as u64, 0, 0],
+        Msg::Forward {
+            owner,
+            req,
+            block,
+            write,
+            acks,
+        } => [
+            1,
+            owner as u64,
+            req as u64,
+            block as u64,
+            write as u64,
+            acks as u64,
+        ],
+        Msg::WbData { block, version } => [2, block as u64, version as u64, 0, 0, 0],
+        Msg::Data {
+            dst,
+            block,
+            version,
+            acks,
+        } => [3, dst as u64, block as u64, version as u64, acks as u64, 0],
+        Msg::Inval { dst, block, req } => [4, dst as u64, block as u64, req as u64, 0, 0],
+        Msg::InvalAck { dst, block } => [5, dst as u64, block as u64, 0, 0, 0],
+        Msg::Unblock { block } => [6, block as u64, 0, 0, 0, 0],
+    };
+    v.extend_from_slice(&f);
+}
+
+impl crate::harness::Harness for ModelHarness {
+    type State = State;
+    type Action = Action;
+
+    fn initial(&self) -> State {
+        State::initial(&self.cfg)
+    }
+
+    fn enabled(&self, s: &State) -> Vec<Action> {
+        enabled_actions(&self.cfg, s)
+    }
+
+    fn step(&self, s: &State, a: &Action) -> Result<State, String> {
+        apply(&self.cfg, s, a)
+    }
+
+    fn check(&self, s: &State) -> Result<(), (String, String)> {
+        check_state(&self.cfg, s).map_err(|(inv, detail)| (inv.to_string(), detail))
+    }
+
+    fn canon(&self, s: &State) -> Vec<u64> {
+        // Injective given a fixed config: every variable-length section
+        // is length-prefixed, every field gets its own word.
+        let mut v = Vec::with_capacity(64);
+        for n in &s.nodes {
+            for &(cs, ver) in &n.cache {
+                v.push(cs as u64);
+                v.push(ver as u64);
+            }
+            match n.pending {
+                None => v.push(0),
+                Some(p) => {
+                    v.push(1);
+                    v.push(p.block as u64);
+                    v.push(p.write as u64);
+                    v.push(p.has_data as u64);
+                    v.push(p.version as u64);
+                    v.push(p.acks_needed as u64);
+                    v.push(p.acks_got as u64);
+                }
+            }
+            v.push(n.ops_done as u64);
+        }
+        for e in &s.home {
+            v.push(e.copyset as u64);
+            v.push(e.owner.map_or(0, |o| o as u64 + 1));
+            v.push(e.busy as u64);
+            match e.waiting {
+                None => v.push(0),
+                Some((req, w)) => {
+                    v.push(1);
+                    v.push(req as u64);
+                    v.push(w as u64);
+                }
+            }
+            v.push(e.queue.len() as u64);
+            for &(req, w) in &e.queue {
+                v.push(req as u64);
+                v.push(w as u64);
+            }
+            v.push(e.mem_version as u64);
+        }
+        v.push(s.net.len() as u64);
+        for m in &s.net {
+            encode_msg(&mut v, m);
+        }
+        for &l in &s.latest {
+            v.push(l as u64);
+        }
+        v
+    }
+
+    fn dependent(&self, a: &Action, b: &Action) -> bool {
+        let (na, ba) = footprint(a);
+        let (nb, bb) = footprint(b);
+        (na & nb) != 0 && ((ba & bb) != 0 || ba == 0 || bb == 0)
+    }
+
+    fn action_json(&self, a: &Action, step: usize) -> String {
+        a.to_json(step)
+    }
 }

@@ -1,0 +1,163 @@
+//! Conformance-harness integration tests (`--features check`).
+//!
+//! These drive the *production* proto/vm/mem state machines through the
+//! generic exploration engines: the smoke suite must be clean and
+//! DPOR-reducible, every seeded production fault must be caught and
+//! shrink to a replayable counterexample, and the liveness gate must
+//! prove lasso-freedom (covering the max-back-off latch) while finding
+//! the livelock seeded by skipping the refetch-counter reset.
+#![cfg(feature = "check")]
+
+use ascoma_check::conform::{ConformConfig, ConformHarness, ConformMutation};
+use ascoma_check::explore::{bfs, dpor, replay_on};
+use ascoma_check::liveness::find_lasso;
+use ascoma_check::shrink::shrink;
+
+const MAX_STATES: usize = 4_000_000;
+
+#[test]
+fn smoke_suite_is_clean_and_dpor_reduces() {
+    for cfg in ConformConfig::smoke_suite() {
+        let h = ConformHarness::new(cfg);
+        let full = bfs(&h, MAX_STATES);
+        assert!(full.complete, "{}: BFS hit the state cap", cfg.label());
+        assert!(
+            full.violation.is_none(),
+            "{}: BFS violation: {:?}",
+            cfg.label(),
+            full.violation.map(|v| (v.invariant, v.detail))
+        );
+        let reduced = dpor(&h, MAX_STATES);
+        assert!(reduced.complete, "{}: DPOR hit the state cap", cfg.label());
+        assert!(
+            reduced.violation.is_none(),
+            "{}: DPOR violation: {:?}",
+            cfg.label(),
+            reduced.violation.map(|v| (v.invariant, v.detail))
+        );
+        assert!(
+            reduced.states < full.states,
+            "{}: DPOR must explore strictly fewer states ({} vs {})",
+            cfg.label(),
+            reduced.states,
+            full.states
+        );
+    }
+}
+
+#[test]
+fn relocation_configs_actually_relocate() {
+    // A suite whose remap actions never fire would vacuously pass the
+    // safety gate; prove the explored spaces contain S-COMA-resident
+    // states (and, for AS-COMA, the relocation-disabled latch).
+    for cfg in ConformConfig::smoke_suite().into_iter().filter(|c| c.remap) {
+        let h = ConformHarness::new(cfg);
+        let out = find_lasso(&h, MAX_STATES, |s| s.any_scoma_resident())
+            .expect("clean config must have no illegal transitions");
+        assert!(out.complete, "{}: liveness BFS hit the cap", cfg.label());
+        assert!(
+            out.interesting > 0,
+            "{}: no explored state ever held an S-COMA page",
+            cfg.label()
+        );
+    }
+    for cfg in ConformConfig::smoke_suite()
+        .into_iter()
+        .filter(|c| c.pageout)
+    {
+        let h = ConformHarness::new(cfg);
+        let out = find_lasso(&h, MAX_STATES, |s| s.any_relocation_disabled())
+            .expect("clean config must have no illegal transitions");
+        assert!(
+            out.interesting > 0,
+            "{}: max back-off (relocation latched off) never reached",
+            cfg.label()
+        );
+    }
+}
+
+#[test]
+fn seeded_production_faults_are_caught_and_shrink() {
+    let cases: [(ConformConfig, &[&str]); 3] = [
+        (
+            ConformConfig {
+                mutation: Some(ConformMutation::SkipInval),
+                ..ConformConfig::coherence(2, 1, 1, 2)
+            },
+            &["l1-directory-agreement", "directory-cache-agreement"],
+        ),
+        (
+            ConformConfig {
+                mutation: Some(ConformMutation::LeakFrame),
+                ..ConformConfig::remap(2, 2, 1, 3)
+            },
+            &["frame-conservation", "frame-ownership"],
+        ),
+        (
+            ConformConfig {
+                mutation: Some(ConformMutation::ResidencyLeak),
+                ..ConformConfig::remap(2, 2, 1, 3)
+            },
+            &["frame-conservation", "residency-consistency"],
+        ),
+    ];
+    for (cfg, expected) in cases {
+        let h = ConformHarness::new(cfg);
+        let out = bfs(&h, MAX_STATES);
+        let cex = out
+            .violation
+            .unwrap_or_else(|| panic!("{}: fault not caught", cfg.label()));
+        assert!(
+            expected.contains(&cex.invariant.as_str()),
+            "{}: caught as {:?}, expected one of {:?}",
+            cfg.label(),
+            cex.invariant,
+            expected
+        );
+        // DPOR must catch the same fault class.
+        let reduced = dpor(&h, MAX_STATES);
+        assert!(
+            reduced.violation.is_some(),
+            "{}: DPOR missed the fault",
+            cfg.label()
+        );
+        // The shrunk trace replays to the same invariant.
+        let small = shrink(&h, &cex.invariant, &cex.detail, &cex.trace);
+        assert!(small.len() <= cex.trace.len());
+        let replayed = replay_on(&h, &small).expect("shrunk trace must reproduce");
+        assert_eq!(replayed.0, cex.invariant, "{}", cfg.label());
+    }
+}
+
+#[test]
+fn liveness_gate_is_lasso_free_and_catches_skip_reset() {
+    for cfg in ConformConfig::liveness_suite() {
+        let h = ConformHarness::new(cfg);
+        let out = find_lasso(&h, MAX_STATES, |s| s.any_relocation_disabled())
+            .expect("clean config must have no illegal transitions");
+        assert!(out.complete, "{}: liveness BFS hit the cap", cfg.label());
+        assert!(
+            out.lasso.is_none(),
+            "{}: unexpected livelock lasso",
+            cfg.label()
+        );
+        if cfg.pageout {
+            assert!(
+                out.interesting > 0,
+                "{}: lasso-freedom not proven at max back-off",
+                cfg.label()
+            );
+        }
+    }
+    // Skipping the refetch-counter reset creates a genuine
+    // remap/evict livelock: the page keeps "deserving" relocation the
+    // moment it is dropped.
+    let cfg = ConformConfig {
+        mutation: Some(ConformMutation::SkipReset),
+        ..ConformConfig::remap(2, 2, 1, 3)
+    };
+    let h = ConformHarness::new(cfg);
+    let out = find_lasso(&h, MAX_STATES, |_| false).expect("transitions stay legal");
+    let lasso = out.lasso.expect("skip-reset must produce a livelock lasso");
+    assert!(!lasso.cycle.is_empty());
+}

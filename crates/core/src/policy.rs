@@ -16,7 +16,8 @@
 //! | AS-COMA  | S-COMA while pool lasts | refetch >= T | pool (daemon-refilled) only | daemon failure raises T, doubles daemon period, switches to NUMA-first; recovery lowers T |
 
 use crate::config::{Arch, PolicyParams};
-use ascoma_sim::Cycles;
+pub use ascoma_vm::backoff::{adjust_period, DaemonAdjust};
+use ascoma_vm::backoff::{BackoffParams, BackoffState};
 
 /// What mode a faulting page should be mapped in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,39 +38,39 @@ pub enum FrameSource {
 }
 
 /// Per-node policy state for one run.
+///
+/// The threshold automaton itself lives in [`ascoma_vm::backoff`] so
+/// the conformance checker can drive the production transition
+/// function; this wrapper adds the architecture gate and the VC-NUMA
+/// break-even window.
 #[derive(Debug, Clone)]
 pub struct PolicyState {
     arch: Arch,
     params: PolicyParams,
-    /// Current refetch threshold for relocation on this node.
-    threshold: u32,
-    /// AS-COMA: thrash-latched ("begin allocating pages in CC-NUMA mode").
-    numa_first: bool,
-    /// AS-COMA: relocation disabled entirely (threshold passed the cap).
-    relocation_disabled: bool,
+    /// The threshold/latch automaton (raises, drops, NUMA-first,
+    /// relocation-disabled).
+    backoff: BackoffState,
     /// VC-NUMA: replacements since the last break-even evaluation.
     vc_replacements: u32,
     /// VC-NUMA: refetches absorbed by pages replaced in this window.
     vc_absorbed: u64,
-    /// Back-off events (threshold raises).
-    raises: u64,
-    /// Recovery events (threshold drops).
-    drops: u64,
 }
 
 impl PolicyState {
     /// Fresh policy state for `arch`.
     pub fn new(arch: Arch, params: PolicyParams) -> Self {
+        let backoff = BackoffState::new(BackoffParams {
+            initial_threshold: params.initial_threshold,
+            increment: params.threshold_increment,
+            cap: params.threshold_cap,
+            enabled: params.ascoma_backoff,
+        });
         Self {
             arch,
             params,
-            threshold: params.initial_threshold,
-            numa_first: false,
-            relocation_disabled: false,
+            backoff,
             vc_replacements: 0,
             vc_absorbed: 0,
-            raises: 0,
-            drops: 0,
         }
     }
 
@@ -80,12 +81,12 @@ impl PolicyState {
 
     /// Current relocation threshold.
     pub fn threshold(&self) -> u32 {
-        self.threshold
+        self.backoff.threshold()
     }
 
     /// (raises, drops) back-off statistics.
     pub fn backoff_stats(&self) -> (u64, u64) {
-        (self.raises, self.drops)
+        self.backoff.stats()
     }
 
     /// How to map a faulting remote page, given whether a free frame is
@@ -97,7 +98,10 @@ impl PolicyState {
             // (a victim is evicted on the spot).
             Arch::Scoma => MapChoice::Scoma,
             Arch::AsComa => {
-                if self.params.ascoma_scoma_first && !self.numa_first && free_frame_available {
+                if self.params.ascoma_scoma_first
+                    && !self.backoff.numa_first()
+                    && free_frame_available
+                {
                     MapChoice::Scoma
                 } else {
                     MapChoice::Numa
@@ -108,10 +112,10 @@ impl PolicyState {
 
     /// Whether a refetch notice at `count` should trigger relocation.
     pub fn should_relocate(&self, count: u32) -> bool {
-        if !self.arch.relocates() || self.relocation_disabled {
+        if !self.arch.relocates() || self.backoff.relocation_disabled() {
             return false;
         }
-        count >= self.threshold
+        count >= self.backoff.threshold()
     }
 
     /// Where the frame for an S-COMA mapping may come from.
@@ -143,35 +147,10 @@ impl PolicyState {
     /// exist again -> recover one step.  Returns the factor to apply to
     /// the daemon period (2 = double, 1 = keep; recovery may halve).
     pub fn on_daemon_result(&mut self, reached_target: bool) -> DaemonAdjust {
-        if self.arch != Arch::AsComa || !self.params.ascoma_backoff {
+        if self.arch != Arch::AsComa {
             return DaemonAdjust::Keep;
         }
-        if !reached_target {
-            self.raises += 1;
-            self.numa_first = true;
-            self.threshold = self
-                .threshold
-                .saturating_add(self.params.threshold_increment);
-            if self.threshold > self.params.threshold_cap {
-                self.relocation_disabled = true;
-            }
-            DaemonAdjust::Slow
-        } else {
-            let mut adj = DaemonAdjust::Keep;
-            if self.threshold > self.params.initial_threshold {
-                self.drops += 1;
-                self.threshold = self
-                    .threshold
-                    .saturating_sub(self.params.threshold_increment)
-                    .max(self.params.initial_threshold);
-                if self.threshold <= self.params.threshold_cap {
-                    self.relocation_disabled = false;
-                }
-                adj = DaemonAdjust::Hasten;
-            }
-            self.numa_first = false;
-            adj
-        }
+        self.backoff.on_daemon_result(reached_target)
     }
 
     /// VC-NUMA: record a page replacement that had absorbed
@@ -190,18 +169,11 @@ impl PolicyState {
             let avg = self.vc_absorbed / self.vc_replacements as u64;
             if avg < self.params.vc_break_even as u64 {
                 // Replacements are not paying for themselves: back off.
-                self.raises += 1;
-                self.threshold = self
-                    .threshold
-                    .saturating_add(self.params.threshold_increment);
+                self.backoff.raise();
             } else if avg >= 2 * self.params.vc_break_even as u64
-                && self.threshold > self.params.initial_threshold
+                && self.backoff.threshold() > self.params.initial_threshold
             {
-                self.drops += 1;
-                self.threshold = self
-                    .threshold
-                    .saturating_sub(self.params.threshold_increment)
-                    .max(self.params.initial_threshold);
+                self.backoff.lower();
             }
             self.vc_replacements = 0;
             self.vc_absorbed = 0;
@@ -211,32 +183,12 @@ impl PolicyState {
     /// Whether relocation has been fully disabled (AS-COMA extreme
     /// back-off).
     pub fn relocation_disabled(&self) -> bool {
-        self.relocation_disabled
+        self.backoff.relocation_disabled()
     }
 
     /// AS-COMA NUMA-first latch state (for tests/reports).
     pub fn numa_first(&self) -> bool {
-        self.numa_first
-    }
-}
-
-/// Daemon-period adjustment requested by the policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DaemonAdjust {
-    /// Keep the current period.
-    Keep,
-    /// Double the period (back-off).
-    Slow,
-    /// Halve the period toward its initial value (recovery).
-    Hasten,
-}
-
-/// Apply a [`DaemonAdjust`] to a period, clamped to `[initial, max]`.
-pub fn adjust_period(period: Cycles, adj: DaemonAdjust, initial: Cycles) -> Cycles {
-    match adj {
-        DaemonAdjust::Keep => period,
-        DaemonAdjust::Slow => (period * 2).min(initial * 64),
-        DaemonAdjust::Hasten => (period / 2).max(initial),
+        self.backoff.numa_first()
     }
 }
 

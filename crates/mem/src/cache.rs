@@ -182,6 +182,16 @@ impl DirectMappedCache {
         self.find(self.set_of(a), a).is_some()
     }
 
+    /// Dirty bit of the resident line covering `addr`, `None` if absent.
+    /// Non-mutating (no stats, no LRU movement) — canonical-state and
+    /// invariant input for the conformance checker.
+    #[inline]
+    pub fn line_dirty(&self, addr: VAddr) -> Option<bool> {
+        let a = self.align(addr);
+        self.find(self.set_of(a), a)
+            .and_then(|i| self.sets[i].as_ref().map(|l| l.dirty))
+    }
+
     /// Look up `addr`, recording hit/miss statistics, without modifying
     /// residency.  On a write hit the line is marked dirty.
     #[inline]

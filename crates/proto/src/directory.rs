@@ -71,10 +71,26 @@ struct BlockEntry {
     induced: NodeSet,
 }
 
+/// Seeded directory faults for conformance-checker self-tests: each must
+/// be caught by the invariant catalog with a replayable counterexample.
+/// Only constructible under the `check` feature; release builds carry no
+/// fault state.
+#[cfg(feature = "check")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirFault {
+    /// `fetch(write)` silently omits one sharer from the returned
+    /// invalidation set while still resetting the copyset, leaving that
+    /// sharer with a stale valid copy.
+    SkipInvalidation,
+    /// `reset_refetch` becomes a no-op, so a relocated page's counter
+    /// stays hot and the remap/evict cycle never quiesces (livelock).
+    SkipRefetchReset,
+}
+
 /// The machine-wide directory (conceptually distributed across homes; the
 /// home of a page only affects *where* lookups are charged, which the
 /// machine layer handles).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Directory {
     geometry: Geometry,
     nodes: usize,
@@ -89,6 +105,9 @@ pub struct Directory {
     page_written: Vec<bool>,
     /// Nodes holding a read-only replica of each page.
     replicas: Vec<NodeSet>,
+    /// Injected fault, checker self-test builds only.
+    #[cfg(feature = "check")]
+    fault: Option<DirFault>,
 }
 
 impl Directory {
@@ -103,7 +122,15 @@ impl Directory {
             total_refetches: 0,
             page_written: vec![false; num_pages as usize],
             replicas: vec![NodeSet::empty(); num_pages as usize],
+            #[cfg(feature = "check")]
+            fault: None,
         }
+    }
+
+    /// Arm (or disarm) a seeded fault.  Checker self-test builds only.
+    #[cfg(feature = "check")]
+    pub fn inject_fault(&mut self, fault: Option<DirFault>) {
+        self.fault = fault;
     }
 
     #[inline]
@@ -127,6 +154,8 @@ impl Directory {
         if write {
             self.page_written[page.0 as usize] = true;
         }
+        #[cfg(feature = "check")]
+        let fault = self.fault;
         let e = self.entry(block);
 
         // Classify before mutating membership.
@@ -150,6 +179,15 @@ impl Directory {
         let mut invalidate = NodeSet::empty();
         if write {
             invalidate = e.copyset.without(node);
+            // Seeded fault: drop one victim from the invalidation set the
+            // caller will act on, while the copyset is reset normally —
+            // that sharer keeps a stale valid copy.
+            #[cfg(feature = "check")]
+            if fault == Some(DirFault::SkipInvalidation) {
+                if let Some(skip) = invalidate.iter().next() {
+                    invalidate.remove(skip);
+                }
+            }
             e.copyset = NodeSet::single(node);
             e.owner = Some(node);
         } else {
@@ -254,6 +292,12 @@ impl Directory {
     /// Reset the refetch counter for `(page, node)` (done when the page is
     /// relocated, so the counter measures refetches in the current mode).
     pub fn reset_refetch(&mut self, page: VPage, node: NodeId) {
+        // Seeded fault: the relocated page's counter stays hot, so the
+        // back-off/relocation cycle never quiesces.
+        #[cfg(feature = "check")]
+        if self.fault == Some(DirFault::SkipRefetchReset) {
+            return;
+        }
         let slot = self.refetch_slot(page, node);
         self.refetch[slot] = 0;
     }
@@ -276,6 +320,17 @@ impl Directory {
     /// The dirty owner of `block`, if any.
     pub fn owner_of(&self, block: BlockId) -> Option<NodeId> {
         self.blocks[block.0 as usize].owner
+    }
+
+    /// Nodes that have ever fetched `block` (canonical-state input for
+    /// the conformance checker).
+    pub fn ever_of(&self, block: BlockId) -> NodeSet {
+        self.blocks[block.0 as usize].ever
+    }
+
+    /// Nodes whose next fetch of `block` classifies as induced-cold.
+    pub fn induced_of(&self, block: BlockId) -> NodeSet {
+        self.blocks[block.0 as usize].induced
     }
 
     /// Number of nodes whose refetch count on `page` reached `threshold`.

@@ -16,5 +16,7 @@
 pub mod directory;
 pub mod msg;
 
+#[cfg(feature = "check")]
+pub use directory::DirFault;
 pub use directory::{Directory, FetchClass, FetchOutcome};
 pub use msg::{MsgKind, ProtoStats};

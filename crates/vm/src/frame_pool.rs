@@ -17,6 +17,10 @@ pub struct FramePool {
     free_target: u32,
     allocs: u64,
     low_watermark: u32,
+    /// Seeded fault: `release` drops the frame on the floor.  Checker
+    /// self-test builds only.
+    #[cfg(feature = "check")]
+    fault_leak_release: bool,
 }
 
 impl FramePool {
@@ -36,7 +40,15 @@ impl FramePool {
             free_target,
             allocs: 0,
             low_watermark,
+            #[cfg(feature = "check")]
+            fault_leak_release: false,
         }
+    }
+
+    /// Arm the leak-on-release fault.  Checker self-test builds only.
+    #[cfg(feature = "check")]
+    pub fn inject_leak_release(&mut self, armed: bool) {
+        self.fault_leak_release = armed;
     }
 
     /// Build from a memory pressure: a node holding `home_pages` home pages
@@ -71,6 +83,13 @@ impl FramePool {
     /// `check`-feature builds (the double-free scan is O(free), which is
     /// why it is not unconditional).
     pub fn release(&mut self, frame: u32) {
+        // Seeded fault: the frame silently never returns to the pool —
+        // no assertion here can see it; only machine-wide frame
+        // conservation (free + resident == cache frames) catches it.
+        #[cfg(feature = "check")]
+        if self.fault_leak_release {
+            return;
+        }
         #[cfg(any(debug_assertions, feature = "check"))]
         {
             assert!(

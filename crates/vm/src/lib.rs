@@ -14,11 +14,15 @@
 //!   `free_target` water marks; memory pressure lives here.
 //! * [`pageout::PageoutDaemon`] — second-chance reclamation; its failure
 //!   to refill the pool is AS-COMA's thrashing signal.
+//! * [`backoff`] — the AS-COMA threshold back-off automaton (raises on
+//!   daemon failure, recovery, NUMA-first and relocation-disabled
+//!   latches); the policy layer in the core crate delegates to it.
 //! * [`home_alloc`] — first-touch-with-cap home-page placement.
 //! * [`costs::KernelCosts`] — the cycle-cost model for kernel operations.
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod costs;
 pub mod frame_pool;
 pub mod home_alloc;
@@ -27,6 +31,7 @@ pub mod page_table;
 pub mod pageout;
 pub mod tlb;
 
+pub use backoff::{adjust_period, BackoffParams, BackoffState, DaemonAdjust};
 pub use costs::KernelCosts;
 pub use frame_pool::FramePool;
 pub use mode::PageMode;

@@ -45,6 +45,10 @@ pub struct PageTable {
     /// S-COMA-resident pages, in residency order (clock-hand domain).
     scoma_pages: Vec<VPage>,
     blocks_per_page: u32,
+    /// Seeded fault: `unmap_scoma` leaves its stale residency-list entry
+    /// behind.  Checker self-test builds only.
+    #[cfg(feature = "check")]
+    fault_residency_leak: bool,
 }
 
 impl PageTable {
@@ -56,7 +60,15 @@ impl PageTable {
             entries: vec![PageEntry::default(); num_pages as usize],
             scoma_pages: Vec::new(),
             blocks_per_page,
+            #[cfg(feature = "check")]
+            fault_residency_leak: false,
         }
+    }
+
+    /// Arm the residency-leak fault.  Checker self-test builds only.
+    #[cfg(feature = "check")]
+    pub fn inject_residency_leak(&mut self, armed: bool) {
+        self.fault_residency_leak = armed;
     }
 
     #[inline]
@@ -123,6 +135,18 @@ impl PageTable {
         };
         debug_assert!(pos > 0);
         let idx = (pos - 1) as usize;
+        // Seeded fault: reset the entry but leave the stale residency-list
+        // slot behind — per-page checks still pass; only a full
+        // `validate()` (list length vs mapped count) can catch it.
+        #[cfg(feature = "check")]
+        if self.fault_residency_leak {
+            let e = self.e_mut(page);
+            e.mode = PageMode::Numa;
+            e.valid = 0;
+            e.local_refetches = 0;
+            e.scoma_pos = 0;
+            return frame;
+        }
         // swap_remove from the residency list, fixing the moved page's slot.
         let last = self.scoma_pages.len() - 1;
         self.scoma_pages.swap_remove(idx);

@@ -62,6 +62,12 @@ impl PageoutDaemon {
         self.epochs
     }
 
+    /// Current clock-hand index (canonical-state input for the
+    /// conformance checker; the hand determines future victim order).
+    pub fn hand(&self) -> usize {
+        self.hand
+    }
+
     /// Whether the daemon may run again at `now` (rate limiting).
     pub fn may_run(&self, now: Cycles) -> bool {
         match self.last_run {

@@ -38,6 +38,9 @@ step "clippy (check/permtests/churntests features)"
 cargo clippy --workspace --all-targets \
     --features ascoma/check,ascoma/permtests,ascoma-vm/churntests -- -D warnings
 
+step "clippy (conformance harness: ascoma-check/check)"
+cargo clippy -p ascoma-check --all-targets --features check -- -D warnings
+
 step "panic lint (unwrap/expect in library code)"
 # Per file: scan until the first top-level `#[cfg(test)]` (test modules
 # sit at the bottom of each file in this codebase), skip `//` comment
@@ -83,6 +86,9 @@ echo "panic lint clean"
 step "model checker unit + mutation-detection tests"
 cargo test -q -p ascoma-check
 
+step "conformance harness tests (ascoma-check --features check)"
+cargo test -q -p ascoma-check --features check
+
 step "interleaving permutation tests (core::parallel)"
 cargo test -q -p ascoma --features permtests --test parallel_perm
 
@@ -95,8 +101,16 @@ cargo test -q -p ascoma --features check
 if [ "$fast" -eq 0 ]; then
     step "model checker CI gate (release): smoke suite + seeded mutations"
     cargo run -q --release -p ascoma-check --bin model_check
+
+    step "conformance gate (release): production machines, BFS vs DPOR"
+    cargo run -q --release -p ascoma-check --features check \
+        --bin model_check -- conform
+
+    step "liveness gate (release): lasso freedom + seeded livelock"
+    cargo run -q --release -p ascoma-check --features check \
+        --bin model_check -- liveness
 else
-    step "model checker CI gate skipped (--fast)"
+    step "model checker / conformance / liveness gates skipped (--fast)"
 fi
 
 printf '\nall checks passed\n'
