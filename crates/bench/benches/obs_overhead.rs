@@ -5,7 +5,11 @@
 //! * `baseline`       — plain `simulate` (no sink type parameter in play);
 //! * `noop_sink`      — `simulate_with_sink(.., NoopSink)`: emission
 //!   sites compiled away; must be within noise of baseline (<2%);
-//! * `vec_sink`       — full recording, the real cost of tracing.
+//! * `vec_sink`       — full recording, the real cost of tracing;
+//! * `stream_off`     — the cell-sweep streaming entry point
+//!   (`run_cells_streamed`) with streaming disabled: must also stay
+//!   within the 2% budget, so wiring telemetry through the sweep path
+//!   costs nothing when nobody is watching.
 //!
 //! The variants are sampled *interleaved* (A, B, C, A, B, C, ...) so that
 //! clock-frequency drift over the bench's lifetime biases all three
@@ -15,6 +19,7 @@
 //! Plain timing harness (no criterion — the build is offline); run with
 //! `cargo bench -p ascoma-bench --bench obs_overhead`.
 
+use ascoma::experiments::{run_cells_streamed, StreamCell};
 use ascoma::machine::{simulate, simulate_with_sink};
 use ascoma::{Arch, SimConfig};
 use ascoma_obs::{NoopSink, VecSink};
@@ -63,34 +68,58 @@ fn main() {
             VecSink::new(),
         ));
     };
+    // Streaming disabled (`stream: None`): jobs=1 runs inline, so this
+    // measures only what the sweep entry point adds around `simulate`.
+    let cells = vec![StreamCell::new(&trace, Arch::AsComa, 0.7)];
+    let mut run_off = || {
+        black_box(run_cells_streamed(
+            black_box(&cells),
+            black_box(&cfg),
+            1,
+            None,
+        ));
+    };
 
     // Warm-up: one batch of each.
     run_base();
     run_noop();
     run_vec();
+    run_off();
 
     let mut base = Vec::with_capacity(SAMPLES);
     let mut noop = Vec::with_capacity(SAMPLES);
     let mut vec = Vec::with_capacity(SAMPLES);
+    let mut off = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         base.push(batch_ns(&mut run_base));
         noop.push(batch_ns(&mut run_noop));
         vec.push(batch_ns(&mut run_vec));
+        off.push(batch_ns(&mut run_off));
     }
 
-    let (base, noop, vec) = (median(base), median(noop), median(vec));
-    println!("obs/baseline  {base:>12.0} ns/iter");
-    println!("obs/noop_sink {noop:>12.0} ns/iter");
-    println!("obs/vec_sink  {vec:>12.0} ns/iter");
+    let (base, noop, vec, off) = (median(base), median(noop), median(vec), median(off));
+    println!("obs/baseline   {base:>12.0} ns/iter");
+    println!("obs/noop_sink  {noop:>12.0} ns/iter");
+    println!("obs/vec_sink   {vec:>12.0} ns/iter");
+    println!("obs/stream_off {off:>12.0} ns/iter");
 
     let overhead = noop / base - 1.0;
-    println!("noop-sink overhead vs baseline: {:+.2}%", overhead * 100.0);
+    let off_overhead = off / base - 1.0;
+    println!("noop-sink overhead vs baseline:  {:+.2}%", overhead * 100.0);
     println!(
-        "vec-sink overhead vs baseline:  {:+.2}%",
+        "vec-sink overhead vs baseline:   {:+.2}%",
         (vec / base - 1.0) * 100.0
+    );
+    println!(
+        "stream-off overhead vs baseline: {:+.2}%",
+        off_overhead * 100.0
     );
     if overhead > 0.02 {
         println!("WARNING: no-op sink overhead exceeds the 2% budget");
+        std::process::exit(1);
+    }
+    if off_overhead > 0.02 {
+        println!("WARNING: disabled-streaming sweep overhead exceeds the 2% budget");
         std::process::exit(1);
     }
 }

@@ -16,14 +16,20 @@
 //! - `--check` — exit non-zero unless every parallel `RunResult` is
 //!   field-for-field identical to its serial counterpart.
 //! - `--out PATH` — where to write the JSON (default `BENCH_perf.json`).
+//! - `--progress` — print one line per completed cell with wall-clock
+//!   and ETA (markers-only streaming, so measured timings stay honest).
 
-use ascoma::experiments::figure_cells;
+use ascoma::experiments::{figure_cells, figure_stream_cells, run_cells_streamed, StreamSpec};
 use ascoma::parallel::{effective_jobs, run_indexed};
 use ascoma::result::RunResult;
 use ascoma::{simulate, SimConfig};
+use ascoma_bench::pacing::Clock;
+use ascoma_bench::watch::{line_for, WatchState};
+use ascoma_obs::StreamEvent;
 use ascoma_workloads::trace::Trace;
 use ascoma_workloads::{App, SizeClass};
 use std::fmt::Write as _;
+use std::sync::mpsc;
 use std::time::Instant;
 
 struct Args {
@@ -31,6 +37,7 @@ struct Args {
     jobs: Option<usize>,
     check: bool,
     out: String,
+    progress: bool,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +46,7 @@ fn parse_args() -> Args {
         jobs: None,
         check: false,
         out: "BENCH_perf.json".into(),
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,8 +68,9 @@ fn parse_args() -> Args {
             }
             "--check" => args.check = true,
             "--out" => args.out = it.next().unwrap_or_else(|| die("--out needs a value")),
+            "--progress" => args.progress = true,
             "--help" | "-h" => {
-                eprintln!("options: --grid full|reduced --jobs N --check --out PATH");
+                eprintln!("options: --grid full|reduced --jobs N --check --out PATH --progress");
                 std::process::exit(0);
             }
             other => die(&format!("unknown option '{other}'")),
@@ -91,6 +100,43 @@ fn run_grid(
             ..*base
         };
         simulate(trace, arch, &cfg)
+    })
+}
+
+/// [`run_grid`] with live progress: one stderr line per cell start and
+/// finish, with wall-clock elapsed and a deterministic-input ETA.
+///
+/// Uses markers-only streaming (cadence 0), so every cell still runs
+/// the uninstrumented [`simulate`] path and the measured timings stay
+/// honest; the consumer prints from this thread while workers simulate.
+fn run_grid_progress(
+    traces: &[Trace],
+    pressures: &[f64],
+    base: &SimConfig,
+    jobs: usize,
+    phase: &str,
+) -> Vec<RunResult> {
+    let cells = figure_stream_cells(traces, pressures, base);
+    let (tx, rx) = mpsc::channel();
+    let spec = StreamSpec::new(tx, 0, 0);
+    std::thread::scope(|s| {
+        let worker = s.spawn(|| run_cells_streamed(&cells, base, jobs, Some(&spec)));
+        let mut st = WatchState::new(phase);
+        let clock = Clock::start();
+        while let Ok(ev) = rx.recv() {
+            st.elapsed_secs = clock.elapsed_secs();
+            let ev = st.stamped(ev);
+            st.apply(&ev);
+            if let Some(line) = line_for(&st, &ev) {
+                eprintln!("  {line}");
+            }
+            if matches!(ev, StreamEvent::GridDone { .. }) {
+                break;
+            }
+        }
+        worker
+            .join()
+            .unwrap_or_else(|_| die("progress worker panicked"))
     })
 }
 
@@ -128,8 +174,19 @@ fn main() {
         .collect();
     let build_secs = t0.elapsed().as_secs_f64();
 
+    // `--progress` streams markers only: same uninstrumented simulate
+    // path per cell, so both variants produce identical results and
+    // comparable timings (one consumer thread printing aside).
+    let run = |jobs: usize, phase: &str| {
+        if args.progress {
+            run_grid_progress(&traces, &pressures, &base, jobs, phase)
+        } else {
+            run_grid(&traces, &cells, &base, jobs)
+        }
+    };
+
     let t1 = Instant::now();
-    let serial = run_grid(&traces, &cells, &base, 1);
+    let serial = run(1, "serial grid");
     let serial_secs = t1.elapsed().as_secs_f64();
     eprintln!(
         "serial  : {serial_secs:.3}s ({:.1} cells/s)",
@@ -137,7 +194,7 @@ fn main() {
     );
 
     let t2 = Instant::now();
-    let parallel = run_grid(&traces, &cells, &base, jobs);
+    let parallel = run(jobs, "parallel grid");
     let parallel_secs = t2.elapsed().as_secs_f64();
     eprintln!(
         "parallel: {parallel_secs:.3}s ({:.1} cells/s, {jobs} jobs)",

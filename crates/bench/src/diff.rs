@@ -21,6 +21,13 @@ pub const ADVISORY_KEYS: &[&str] = &[
     "host_cores",
     "jobs",
     "speedup_meaningful",
+    // Live-telemetry leaves (DESIGN.md §16): ETA is wall-clock derived,
+    // and the snapshot count depends on the consumer's cadence flags,
+    // not on the simulated grid itself.
+    "eta_secs",
+    "elapsed_secs",
+    "snapshot_count",
+    "snaps_per_sec",
 ];
 
 /// How a single finding is classified.
@@ -268,6 +275,17 @@ mod tests {
         assert!(!rep.has_regressions());
         assert_eq!(rep.of(Severity::Advisory).count(), 3);
         assert!(rep.findings[0].detail.contains("+100.0%"));
+    }
+
+    #[test]
+    fn telemetry_keys_are_advisory() {
+        // Streaming telemetry varies by host speed and consumer cadence;
+        // the simulated grid underneath is what must stay exact.
+        let old = j(r#"{"eta_secs":12.5,"snapshot_count":208,"snaps_per_sec":40.0,"cells":18}"#);
+        let new = j(r#"{"eta_secs":3.0,"snapshot_count":96,"snaps_per_sec":88.0,"cells":18}"#);
+        let rep = diff(&old, &new);
+        assert!(!rep.has_regressions());
+        assert_eq!(rep.of(Severity::Advisory).count(), 3);
     }
 
     #[test]

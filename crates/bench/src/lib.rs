@@ -8,7 +8,9 @@
 
 pub mod diff;
 pub mod harness;
+pub mod pacing;
 pub mod report;
+pub mod watch;
 
 use ascoma::experiments::{assemble_figure, figure_cells, run_table6_on, FigureData, Table6Row};
 use ascoma::parallel::{effective_jobs, run_indexed};

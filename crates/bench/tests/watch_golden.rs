@@ -1,0 +1,113 @@
+//! Golden-frame tests for the `bench watch` dashboard renderer.
+//!
+//! A fixed NDJSON transcript (the same wire format `--stream` writes and
+//! `--tail` reads) is replayed into a [`WatchState`] with deterministic
+//! elapsed-time stamps, and the rendered frames are compared
+//! byte-for-byte against committed fixtures — the ANSI frame (tty), the
+//! plain frame (TERM=dumb), and the line-mode transcript.
+//!
+//! When a renderer change is intentional, regenerate the fixtures and
+//! review the diff:
+//!
+//! ```text
+//! ASCOMA_BLESS=1 cargo test -p ascoma-bench --test watch_golden
+//! ```
+
+use ascoma_bench::watch::{line_for, render, WatchState};
+use ascoma_obs::parse_stream_line;
+
+/// A mid-sweep transcript: 4 cells, 2 finished, 1 running, 1 pending,
+/// with snapshots from overlapping cells (jobs > 1 interleaving).
+const FEED: &[&str] = &[
+    r#"{"ev":"grid_start","cells":4}"#,
+    r#"{"ev":"cell_start","cell":0,"label":"em3d/ASCOMA@0.10"}"#,
+    r#"{"ev":"cell_start","cell":1,"label":"em3d/ASCOMA@0.50"}"#,
+    r#"{"ev":"snap","cell":0,"seq":1,"t":200000,"events":8481,"done":0,"total":0,"nodes":[{"node":0,"free":240,"low":236,"threshold":1,"refetch":4,"backlog":2},{"node":1,"free":238,"low":230,"threshold":1,"refetch":6,"backlog":0}],"miss":[{"loc":"home","count":1024,"sum":49152,"max":717,"p50":48,"p95":91,"p99":152},{"loc":"scoma","count":0,"sum":0,"max":0,"p50":0,"p95":0,"p99":0},{"loc":"rac","count":512,"sum":12800,"max":685,"p50":25,"p95":119,"p99":222},{"loc":"remote2","count":96,"sum":23328,"max":789,"p50":243,"p95":489,"p99":581},{"loc":"remote3","count":16,"sum":3328,"max":356,"p50":208,"p95":332,"p99":356}]}"#,
+    r#"{"ev":"snap","cell":1,"seq":1,"t":200100,"events":9023,"done":0,"total":0,"nodes":[{"node":0,"free":180,"low":150,"threshold":2,"refetch":14,"backlog":5},{"node":1,"free":176,"low":148,"threshold":2,"refetch":11,"backlog":3}],"miss":[{"loc":"home","count":1124,"sum":53952,"max":720,"p50":48,"p95":95,"p99":160},{"loc":"scoma","count":40,"sum":480,"max":24,"p50":12,"p95":18,"p99":24},{"loc":"rac","count":600,"sum":15000,"max":690,"p50":25,"p95":121,"p99":230},{"loc":"remote2","count":120,"sum":29160,"max":790,"p50":243,"p95":490,"p99":585},{"loc":"remote3","count":20,"sum":4160,"max":360,"p50":208,"p95":335,"p99":360}]}"#,
+    r#"{"ev":"snap","cell":0,"seq":2,"t":400000,"events":16890,"done":0,"total":0,"nodes":[{"node":0,"free":120,"low":96,"threshold":3,"refetch":22,"backlog":7},{"node":1,"free":118,"low":92,"threshold":3,"refetch":25,"backlog":4}],"miss":[{"loc":"home","count":2048,"sum":98304,"max":728,"p50":48,"p95":93,"p99":155},{"loc":"scoma","count":88,"sum":1056,"max":26,"p50":12,"p95":20,"p99":26},{"loc":"rac","count":1100,"sum":27500,"max":700,"p50":25,"p95":120,"p99":225},{"loc":"remote2","count":200,"sum":48600,"max":800,"p50":243,"p95":492,"p99":590},{"loc":"remote3","count":36,"sum":7488,"max":364,"p50":208,"p95":338,"p99":364}]}"#,
+    r#"{"ev":"cell_done","cell":0,"cycles":824576}"#,
+    r#"{"ev":"cell_start","cell":2,"label":"em3d/ASCOMA@0.90"}"#,
+    r#"{"ev":"snap","cell":1,"seq":2,"t":400100,"events":17544,"done":0,"total":0,"nodes":[{"node":0,"free":64,"low":40,"threshold":4,"refetch":38,"backlog":11},{"node":1,"free":60,"low":38,"threshold":4,"refetch":41,"backlog":9}],"miss":[{"loc":"home","count":2248,"sum":107904,"max":730,"p50":48,"p95":96,"p99":162},{"loc":"scoma","count":160,"sum":1920,"max":28,"p50":12,"p95":21,"p99":28},{"loc":"rac","count":1300,"sum":32500,"max":705,"p50":25,"p95":122,"p99":232},{"loc":"remote2","count":260,"sum":63180,"max":805,"p50":243,"p95":494,"p99":595},{"loc":"remote3","count":44,"sum":9152,"max":368,"p50":208,"p95":340,"p99":368}]}"#,
+    r#"{"ev":"snap","cell":2,"seq":1,"t":200200,"events":9511,"done":0,"total":0,"nodes":[{"node":0,"free":32,"low":18,"threshold":5,"refetch":64,"backlog":19},{"node":1,"free":28,"low":16,"threshold":5,"refetch":70,"backlog":16}],"miss":[{"loc":"home","count":1300,"sum":62400,"max":735,"p50":48,"p95":98,"p99":170},{"loc":"scoma","count":400,"sum":4800,"max":30,"p50":12,"p95":22,"p99":30},{"loc":"rac","count":900,"sum":22500,"max":710,"p50":25,"p95":124,"p99":238},{"loc":"remote2","count":150,"sum":36450,"max":810,"p50":243,"p95":496,"p99":600},{"loc":"remote3","count":28,"sum":5824,"max":372,"p50":208,"p95":342,"p99":372}]}"#,
+    r#"{"ev":"cell_done","cell":1,"cycles":904663}"#,
+    r#"{"ev":"snap","cell":2,"seq":2,"t":400200,"events":19036,"done":0,"total":0,"nodes":[{"node":0,"free":16,"low":8,"threshold":6,"refetch":96,"backlog":27},{"node":1,"free":12,"low":6,"threshold":6,"refetch":104,"backlog":24}],"miss":[{"loc":"home","count":2600,"sum":124800,"max":740,"p50":48,"p95":99,"p99":175},{"loc":"scoma","count":900,"sum":10800,"max":32,"p50":12,"p95":24,"p99":32},{"loc":"rac","count":1800,"sum":45000,"max":715,"p50":25,"p95":126,"p99":244},{"loc":"remote2","count":300,"sum":72900,"max":815,"p50":243,"p95":498,"p99":605},{"loc":"remote3","count":56,"sum":11648,"max":376,"p50":208,"p95":344,"p99":376}]}"#,
+];
+
+/// Replay the fixture feed the way the `bench watch` viewer does
+/// (stamp, apply, line), with deterministic elapsed stamps.
+fn replay() -> (WatchState, Vec<String>) {
+    let mut st = WatchState::new("golden sweep");
+    let mut lines = Vec::new();
+    for (i, raw) in FEED.iter().enumerate() {
+        st.elapsed_secs = 0.25 * (i + 1) as f64;
+        let ev = parse_stream_line(raw).expect("fixture line parses");
+        let ev = st.stamped(ev);
+        st.apply(&ev);
+        if let Some(l) = line_for(&st, &ev) {
+            lines.push(l);
+        }
+    }
+    st.elapsed_secs = 12.5;
+    (st, lines)
+}
+
+fn check(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("ASCOMA_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("bless fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path} ({e}); run with ASCOMA_BLESS=1"));
+    assert_eq!(
+        actual, want,
+        "{name} drifted from its golden fixture; if the change is \
+         intentional, rerun with ASCOMA_BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn tty_frame_matches_golden() {
+    let (st, _) = replay();
+    check("watch_tty.txt", &render(&st, true));
+}
+
+#[test]
+fn dumb_frame_matches_golden() {
+    let (st, _) = replay();
+    check("watch_dumb.txt", &render(&st, false));
+}
+
+#[test]
+fn line_mode_matches_golden() {
+    let (_, lines) = replay();
+    let mut transcript = lines.join("\n");
+    transcript.push('\n');
+    check("watch_lines.txt", &transcript);
+}
+
+#[test]
+fn ansi_and_dumb_frames_differ_only_in_escapes() {
+    // Stripping CSI sequences from the tty frame must yield the dumb
+    // frame: the two modes may never show different *content*.
+    let (st, _) = replay();
+    let tty = render(&st, true);
+    let dumb = render(&st, false);
+    let mut stripped = String::new();
+    let mut chars = tty.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\x1b' {
+            if chars.peek() == Some(&'[') {
+                chars.next();
+                for e in chars.by_ref() {
+                    if e.is_ascii_alphabetic() {
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        stripped.push(c);
+    }
+    assert_eq!(stripped, dumb);
+}

@@ -8,10 +8,13 @@
 //! census at low pressure.
 
 use crate::config::{Arch, SimConfig};
-use crate::machine::simulate;
+use crate::machine::{simulate, simulate_streamed};
 use crate::result::RunResult;
+use ascoma_obs::StreamEvent;
+use ascoma_sim::Cycles;
 use ascoma_workloads::trace::Trace;
 use ascoma_workloads::{App, SizeClass};
+use std::sync::{mpsc, Mutex};
 
 /// The pressure grid of the paper's charts.
 pub const PAPER_PRESSURES: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
@@ -176,6 +179,164 @@ pub fn run_cell(
 pub fn run_cell_on(trace: &Trace, arch: Arch, pressure: f64, base: &SimConfig) -> RunResult {
     let cfg = SimConfig { pressure, ..*base };
     simulate(trace, arch, &cfg)
+}
+
+/// Where a streamed sweep sends its progress, and how often.
+///
+/// Holds the producing half of an `mpsc` channel of [`StreamEvent`]s.
+/// The sender sits behind a `Mutex` only so the spec can be shared by
+/// reference across the worker pool (`mpsc::Sender` is `Send` but not
+/// `Sync`); each worker clones a private sender once per cell, so the
+/// lock is touched O(cells) times, never per event.
+#[derive(Debug)]
+pub struct StreamSpec {
+    tx: Mutex<mpsc::Sender<StreamEvent>>,
+    /// Snapshot cadence in simulated cycles.  0 = markers only: cells
+    /// run completely uninstrumented ([`simulate`]'s `NoopSink` path)
+    /// and the stream carries just start/finish events — the mode
+    /// `perf_baseline --progress` uses so measured timings stay honest.
+    pub cadence: Cycles,
+    /// Registry series window for instrumented cells (0 disables).
+    pub window: Cycles,
+}
+
+impl StreamSpec {
+    /// A spec streaming to `tx` with the given cadence and window.
+    pub fn new(tx: mpsc::Sender<StreamEvent>, cadence: Cycles, window: Cycles) -> Self {
+        Self {
+            tx: Mutex::new(tx),
+            cadence,
+            window,
+        }
+    }
+
+    fn sender(&self) -> mpsc::Sender<StreamEvent> {
+        // A poisoned lock only means another worker panicked while
+        // cloning; the sender inside is still fine to clone.
+        match self.tx.lock() {
+            Ok(g) => g.clone(),
+            Err(e) => e.into_inner().clone(),
+        }
+    }
+}
+
+/// One schedulable cell of a streamed sweep.
+#[derive(Debug, Clone)]
+pub struct StreamCell<'t> {
+    /// Display label, e.g. `em3d/ASCOMA@0.50`.
+    pub label: String,
+    /// The (pre-built) trace to run.
+    pub trace: &'t Trace,
+    /// Architecture under test.
+    pub arch: Arch,
+    /// Memory pressure for this cell.
+    pub pressure: f64,
+}
+
+impl<'t> StreamCell<'t> {
+    /// A cell with the canonical `app/ARCH@pressure` label.
+    pub fn new(trace: &'t Trace, arch: Arch, pressure: f64) -> Self {
+        Self {
+            label: format!("{}/{}@{:.2}", trace.name, arch.name(), pressure),
+            trace,
+            arch,
+            pressure,
+        }
+    }
+}
+
+/// The canonical streamed sweep for a whole figure grid: every app's
+/// [`figure_cells`], apps in caller order — the cell list `bench watch`
+/// attaches to.
+pub fn figure_stream_cells<'t>(
+    traces: &'t [Trace],
+    pressures: &[f64],
+    base: &SimConfig,
+) -> Vec<StreamCell<'t>> {
+    let mut cells = Vec::new();
+    for trace in traces {
+        for (arch, p) in figure_cells(pressures, base.pressure) {
+            cells.push(StreamCell::new(trace, arch, p));
+        }
+    }
+    cells
+}
+
+/// Run `cells` across up to `jobs` workers, optionally streaming
+/// progress, and return results in canonical cell order.
+///
+/// With `stream == None` this is exactly the plain cell-parallel path.
+/// With a spec, each worker sends [`StreamEvent::CellStart`], then (if
+/// `cadence > 0`) runs instrumented via [`simulate_streamed`] forwarding
+/// per-cell [`StreamEvent::Snap`]s, then sends [`StreamEvent::CellDone`];
+/// the caller's receiver is the aggregator that orders nothing and
+/// merely tallies.  `GridStart`/`GridDone` bracket the whole sweep.
+///
+/// Streaming cannot change results: instrumentation only observes, so
+/// the returned `Vec<RunResult>` is byte-identical across `stream` on /
+/// off and across job counts (`tests/streaming.rs`).  Send failures are
+/// ignored — a detached viewer never stalls or kills a sweep.
+pub fn run_cells_streamed(
+    cells: &[StreamCell<'_>],
+    base: &SimConfig,
+    jobs: usize,
+    stream: Option<&StreamSpec>,
+) -> Vec<RunResult> {
+    if let Some(sp) = stream {
+        let _ = sp.sender().send(StreamEvent::GridStart {
+            cells: cells.len() as u64,
+        });
+    }
+    let runs = crate::parallel::run_indexed(cells.len(), jobs, |i| {
+        let cell = &cells[i];
+        let mut cfg = SimConfig {
+            pressure: cell.pressure,
+            ..*base
+        };
+        let Some(sp) = stream else {
+            return simulate(cell.trace, cell.arch, &cfg);
+        };
+        let tx = sp.sender();
+        let _ = tx.send(StreamEvent::CellStart {
+            cell: i as u64,
+            label: cell.label.clone(),
+        });
+        let run = if sp.cadence == 0 {
+            simulate(cell.trace, cell.arch, &cfg)
+        } else {
+            // Populated node gauges need the periodic sampler; default
+            // it to the snapshot cadence when the caller left it off.
+            if cfg.obs_sample_period == 0 {
+                cfg.obs_sample_period = sp.cadence;
+            }
+            let snap_tx = tx.clone();
+            let (run, _registry) = simulate_streamed(
+                cell.trace,
+                cell.arch,
+                &cfg,
+                sp.window,
+                sp.cadence,
+                move |snap| {
+                    let _ = snap_tx.send(StreamEvent::Snap {
+                        cell: i as u64,
+                        snap,
+                    });
+                },
+            );
+            run
+        };
+        let _ = tx.send(StreamEvent::CellDone {
+            cell: i as u64,
+            cycles: run.cycles,
+        });
+        run
+    });
+    if let Some(sp) = stream {
+        let _ = sp.sender().send(StreamEvent::GridDone {
+            cells: cells.len() as u64,
+        });
+    }
+    runs
 }
 
 #[cfg(test)]

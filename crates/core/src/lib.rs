@@ -42,5 +42,9 @@ pub mod result;
 pub mod sweep;
 
 pub use config::{Arch, PolicyParams, SimConfig};
-pub use machine::{simulate, simulate_traced, simulate_with_sink, Machine};
+pub use experiments::{figure_stream_cells, run_cells_streamed, StreamCell, StreamSpec};
+pub use machine::{
+    simulate, simulate_measured_streamed, simulate_streamed, simulate_traced, simulate_with_sink,
+    Machine,
+};
 pub use result::RunResult;

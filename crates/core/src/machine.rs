@@ -27,7 +27,7 @@ use ascoma_mem::timing::LocalMemory;
 use ascoma_net::{Network, Topology};
 use ascoma_obs::{
     summarize, BackoffKind, Event, EvictCause, MapMode, MetricsRegistry, MissLoc, NoopSink, Sink,
-    ThresholdStep, TimedEvent, VecSink,
+    Snapshot, StreamSink, ThresholdStep, TimedEvent, VecSink,
 };
 use ascoma_proto::{Directory, FetchClass, ProtoStats};
 use ascoma_sim::addr::{VAddr, VPage};
@@ -1531,6 +1531,55 @@ pub fn simulate_measured(
     let registry = MetricsRegistry::from_events(&events, trace.nodes, window);
     result.metrics = Some(registry.digest());
     (result, events, registry)
+}
+
+/// Run `trace` while streaming live [`Snapshot`]s of registry state to
+/// `on_snap` every `cadence` *simulated* cycles (plus one final
+/// end-of-run frame), folding events into a registry windowed every
+/// `window` cycles.  Returns the result and the folded registry.
+///
+/// Streaming rides the ordinary sink path: emission sites observe but
+/// never perturb simulation state, so the returned [`RunResult`] is
+/// byte-identical to [`simulate`]'s — `tests/streaming.rs` asserts the
+/// A/B.  Periodic free-pool/threshold/net samples only exist if
+/// [`SimConfig::obs_sample_period`] is non-zero; set it (e.g. to the
+/// cadence) for populated node gauges.
+pub fn simulate_streamed<F: FnMut(Snapshot)>(
+    trace: &Trace,
+    arch: Arch,
+    cfg: &SimConfig,
+    window: Cycles,
+    cadence: Cycles,
+    on_snap: F,
+) -> (RunResult, MetricsRegistry) {
+    let sink = StreamSink::new(NoopSink, trace.nodes, window, cadence, on_snap);
+    let (result, mut sink) = simulate_with_sink(trace, arch, cfg, sink);
+    sink.snapshot_now(result.cycles);
+    let (_noop, registry) = sink.into_parts();
+    (result, registry)
+}
+
+/// [`simulate_measured`] with live streaming: records the full event
+/// stream *and* emits [`Snapshot`]s at `cadence`, building the registry
+/// online instead of from the recorded events.  The result (including
+/// the attached obs summary and metrics digest) is byte-identical to
+/// [`simulate_measured`]'s — the online and offline registry folds agree
+/// by construction, and `tests/streaming.rs` asserts it end to end.
+pub fn simulate_measured_streamed<F: FnMut(Snapshot)>(
+    trace: &Trace,
+    arch: Arch,
+    cfg: &SimConfig,
+    window: Cycles,
+    cadence: Cycles,
+    on_snap: F,
+) -> (RunResult, Vec<TimedEvent>, MetricsRegistry) {
+    let sink = StreamSink::new(VecSink::new(), trace.nodes, window, cadence, on_snap);
+    let (mut result, mut sink) = simulate_with_sink(trace, arch, cfg, sink);
+    sink.snapshot_now(result.cycles);
+    let (inner, registry) = sink.into_parts();
+    result.obs = Some(summarize(&inner.events, trace.nodes));
+    result.metrics = Some(registry.digest());
+    (result, inner.events, registry)
 }
 
 #[cfg(test)]

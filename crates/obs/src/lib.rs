@@ -37,12 +37,14 @@ pub mod import;
 pub mod json;
 pub mod metrics;
 pub mod sink;
+pub mod snapshot;
 pub mod summary;
 
 pub use event::{BackoffKind, Event, EvictCause, MapMode, MissLoc, TimedEvent};
 pub use import::{parse_event_line, parse_jsonl};
 pub use metrics::{HistStat, MetricsDigest, MetricsRegistry, MetricsSink};
 pub use sink::{JsonlSink, NoopSink, RingSink, Sink, VecSink};
+pub use snapshot::{channel_sink, parse_stream_line, NodeSnap, Snapshot, StreamEvent, StreamSink};
 pub use summary::{
     summarize, summarize_lossy, DaemonEpochRecord, LifecycleViolation, PageLifecycle, Summary,
     ThresholdStep,

@@ -47,6 +47,15 @@ pub struct NodeMetrics {
     pub threshold: Vec<WindowPoint>,
     /// Capacity refetches completed per window.
     pub refetch_rate: Vec<WindowPoint>,
+    /// Most recent sampled free-pool depth (tracked even when
+    /// `window == 0` disables the series — live snapshots read these).
+    pub last_free: u64,
+    /// Most recent sampled free-pool low watermark.
+    pub last_low: u64,
+    /// Most recent sampled refetch threshold.
+    pub last_threshold: u64,
+    /// Most recent sampled network backlog.
+    pub last_backlog: u64,
 }
 
 fn series_set_last(series: &mut Vec<WindowPoint>, window: u64, value: u64) {
@@ -109,6 +118,11 @@ impl MetricsRegistry {
         self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// Total events folded so far (sum over every kind counter).
+    pub fn total_events(&self) -> u64 {
+        self.counters.values().sum()
+    }
+
     /// The `n` hottest `(node, page)` pairs by capacity-refetch count,
     /// hottest first; ties break on `(node, page)` ascending so the
     /// ranking is deterministic.
@@ -162,13 +176,27 @@ impl MetricsRegistry {
             Event::ReclaimLatency { node, cycles, .. } => {
                 self.node_mut(node.0).reclaim.record(cycles);
             }
-            Event::FreePoolSample { node, free, .. } if self.window != 0 => {
+            Event::FreePoolSample {
+                node, free, low, ..
+            } => {
+                let windowed = self.window != 0;
                 let nm = self.node_mut(node.0);
-                series_set_last(&mut nm.free_pool, w, free as u64);
+                nm.last_free = free as u64;
+                nm.last_low = low as u64;
+                if windowed {
+                    series_set_last(&mut nm.free_pool, w, free as u64);
+                }
             }
-            Event::ThresholdSample { node, threshold } if self.window != 0 => {
+            Event::ThresholdSample { node, threshold } => {
+                let windowed = self.window != 0;
                 let nm = self.node_mut(node.0);
-                series_set_last(&mut nm.threshold, w, threshold as u64);
+                nm.last_threshold = threshold as u64;
+                if windowed {
+                    series_set_last(&mut nm.threshold, w, threshold as u64);
+                }
+            }
+            Event::NetSample { node, backlog, .. } => {
+                self.node_mut(node.0).last_backlog = backlog;
             }
             _ => {}
         }
@@ -455,6 +483,120 @@ mod tests {
         let flat = MetricsRegistry::from_events(&stream(), 2, 0);
         assert!(flat.nodes()[0].free_pool.is_empty());
         assert_eq!(flat.digest().hists, reg.digest().hists);
+    }
+
+    #[test]
+    fn empty_run_has_empty_series_and_zero_digest() {
+        let reg = MetricsRegistry::from_events(&[], 2, DEFAULT_WINDOW);
+        assert_eq!(reg.total_events(), 0);
+        for nm in reg.nodes() {
+            assert!(nm.free_pool.is_empty());
+            assert!(nm.threshold.is_empty());
+            assert!(nm.refetch_rate.is_empty());
+            assert_eq!((nm.last_free, nm.last_low), (0, 0));
+            assert_eq!((nm.last_threshold, nm.last_backlog), (0, 0));
+        }
+        let d = reg.digest();
+        assert!(d.hists.iter().all(|h| h.stat.count == 0));
+        assert!(d.counters.is_empty());
+    }
+
+    #[test]
+    fn run_shorter_than_one_window_lands_in_window_zero() {
+        // Every cycle below DEFAULT_WINDOW buckets into window ordinal 0.
+        let evs: Vec<TimedEvent> = (0..5)
+            .map(|i| TimedEvent {
+                cycle: i * 1_000,
+                event: miss(0, i, MissLoc::Remote2, true, 100 + i),
+            })
+            .collect();
+        let reg = MetricsRegistry::from_events(&evs, 1, DEFAULT_WINDOW);
+        assert_eq!(
+            reg.nodes()[0].refetch_rate,
+            vec![WindowPoint {
+                window: 0,
+                value: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn exact_window_boundary_cycles_open_the_next_window() {
+        // cycle == k * window belongs to window k (cycle / window), so a
+        // sample exactly on the boundary must start a new point, and the
+        // last sample strictly before it must close the previous one.
+        let w = DEFAULT_WINDOW;
+        let evs = vec![
+            TimedEvent {
+                cycle: w - 1,
+                event: Event::FreePoolSample {
+                    node: NodeId(0),
+                    free: 7,
+                    resident: 1,
+                    deficit: 0,
+                    low: 2,
+                },
+            },
+            TimedEvent {
+                cycle: w,
+                event: Event::FreePoolSample {
+                    node: NodeId(0),
+                    free: 5,
+                    resident: 3,
+                    deficit: 0,
+                    low: 2,
+                },
+            },
+            TimedEvent {
+                cycle: 2 * w,
+                event: miss(0, 1, MissLoc::Remote3, true, 10),
+            },
+        ];
+        let reg = MetricsRegistry::from_events(&evs, 1, w);
+        let n0 = &reg.nodes()[0];
+        assert_eq!(
+            n0.free_pool,
+            vec![
+                WindowPoint {
+                    window: 0,
+                    value: 7
+                },
+                WindowPoint {
+                    window: 1,
+                    value: 5
+                },
+            ]
+        );
+        assert_eq!(
+            n0.refetch_rate,
+            vec![WindowPoint {
+                window: 2,
+                value: 1
+            }]
+        );
+        assert_eq!(n0.last_free, 5);
+    }
+
+    #[test]
+    fn last_values_survive_disabled_windowing() {
+        let mut evs = stream();
+        evs.push(TimedEvent {
+            cycle: 180_000,
+            event: Event::NetSample {
+                node: NodeId(0),
+                backlog: 9,
+                messages: 100,
+                queued: 3,
+            },
+        });
+        let flat = MetricsRegistry::from_events(&evs, 2, 0);
+        let n0 = &flat.nodes()[0];
+        assert!(n0.free_pool.is_empty(), "window 0 disables the series");
+        assert_eq!(n0.last_free, 12);
+        assert_eq!(n0.last_low, 4);
+        assert_eq!(n0.last_threshold, 96);
+        assert_eq!(n0.last_backlog, 9);
+        assert_eq!(flat.total_events(), evs.len() as u64);
     }
 
     #[test]

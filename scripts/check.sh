@@ -83,6 +83,37 @@ if [ "$viol" -ne 0 ]; then
 fi
 echo "panic lint clean"
 
+step "wall-clock audit (allow(clippy::disallowed_methods) sites)"
+# clippy.toml bans Instant::now and thread::sleep workspace-wide; the
+# escape hatch is a fn-level allow, which is only legitimate in the
+# audited measurement/pacing files below.  A new allow anywhere else
+# must be argued into this list, not silently added.
+wall_clock_allowed="
+crates/bench/src/harness.rs
+crates/bench/src/pacing.rs
+crates/bench/src/bin/perf_baseline.rs
+crates/bench/benches/obs_overhead.rs
+crates/core/src/parallel.rs
+"
+audit_viol=0
+while IFS= read -r f; do
+    ok=0
+    for a in $wall_clock_allowed; do
+        [ "$f" = "$a" ] && ok=1 && break
+    done
+    if [ "$ok" -eq 0 ]; then
+        echo "DENY $f: allow(clippy::disallowed_methods) outside the audited wall-clock list"
+        audit_viol=1
+    fi
+done < <(grep -rl "allow(clippy::disallowed_methods)" \
+    crates --include='*.rs' | sort)
+if [ "$audit_viol" -ne 0 ]; then
+    echo "wall-clock audit: either route through bench::pacing, or add the"
+    echo "file to the audited list in scripts/check.sh with a justification"
+    exit 1
+fi
+echo "wall-clock audit clean"
+
 step "model checker unit + mutation-detection tests"
 cargo test -q -p ascoma-check
 

@@ -29,6 +29,8 @@ run ablation_interconnect        > results/ablation_interconnect.txt
 run ablation_associativity       > results/ablation_associativity.txt
 run scaling                      > results/scaling.txt
 run validate_claims              > results/validate_claims.txt
-run perf_baseline -- --check --out BENCH_perf.json
-run perf_baseline -- --grid reduced --check --out results/BENCH_perf_reduced.json
+# --progress: one line per completed cell with wall-clock + ETA, so the
+# long full-grid baseline is no longer a silent minute of work.
+run perf_baseline -- --check --progress --out BENCH_perf.json
+run perf_baseline -- --grid reduced --check --progress --out results/BENCH_perf_reduced.json
 echo "done; results/ refreshed in $((SECONDS - start))s total wall-clock" >&2
