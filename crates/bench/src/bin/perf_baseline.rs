@@ -294,6 +294,33 @@ fn main() {
     let _ = writeln!(json, "    \"page_upgrades\": {upgrades},");
     let _ = writeln!(json, "    \"page_downgrades\": {downgrades},");
     let _ = writeln!(json, "    \"daemon_runs\": {daemon_runs}");
+    let _ = writeln!(json, "  }},");
+    // Per-layer throughput: deterministic counters over the measured
+    // serial wall time.  Advisory (host-speed-dependent) — `bench diff`
+    // ignores them; they answer "which layer got slower" across runs of
+    // the same host, complementing the isolated `hotpath` microbench.
+    let per_sec = |count: u64| count as f64 / serial_secs;
+    let _ = writeln!(json, "  \"rates\": {{");
+    let _ = writeln!(
+        json,
+        "    \"sim_cycles_per_sec\": {:.0},",
+        per_sec(sim_cycles)
+    );
+    let _ = writeln!(
+        json,
+        "    \"shared_misses_per_sec\": {:.0},",
+        per_sec(miss_total)
+    );
+    let _ = writeln!(
+        json,
+        "    \"net_messages_per_sec\": {:.0},",
+        per_sec(net_messages)
+    );
+    let _ = writeln!(
+        json,
+        "    \"proto_fetches_per_sec\": {:.0}",
+        per_sec(proto_fetches)
+    );
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 

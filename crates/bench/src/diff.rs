@@ -28,6 +28,12 @@ pub const ADVISORY_KEYS: &[&str] = &[
     "elapsed_secs",
     "snapshot_count",
     "snaps_per_sec",
+    // Per-layer throughput (DESIGN.md §17): deterministic counters
+    // divided by measured wall time, so host-speed-dependent.
+    "sim_cycles_per_sec",
+    "shared_misses_per_sec",
+    "net_messages_per_sec",
+    "proto_fetches_per_sec",
 ];
 
 /// How a single finding is classified.
@@ -286,6 +292,24 @@ mod tests {
         let rep = diff(&old, &new);
         assert!(!rep.has_regressions());
         assert_eq!(rep.of(Severity::Advisory).count(), 3);
+    }
+
+    #[test]
+    fn rate_keys_are_advisory() {
+        // rates/* are counters over wall time: the numerators are gated
+        // exactly via counters/*, the quotients move with the host.
+        let old = j(r#"{"rates":{"sim_cycles_per_sec":1.0e9,"net_messages_per_sec":2.0e6}}"#);
+        let new = j(r#"{"rates":{"sim_cycles_per_sec":3.0e9,"net_messages_per_sec":5.0e6}}"#);
+        let rep = diff(&old, &new);
+        assert!(!rep.has_regressions());
+        assert_eq!(rep.of(Severity::Advisory).count(), 2);
+    }
+
+    #[test]
+    fn removed_rates_subtree_stays_advisory() {
+        let old = j(r#"{"rates":{"sim_cycles_per_sec":1.0e9},"cells":18}"#);
+        let new = j(r#"{"cells":18}"#);
+        assert!(!diff(&old, &new).has_regressions());
     }
 
     #[test]

@@ -48,6 +48,40 @@ enum Bucket {
     Instr,
 }
 
+// ----- per-page action codes -----
+//
+// The shared-access L1-miss path dispatches on a per-node, per-page
+// *action byte* instead of re-deriving `(arch, PageMode)` per access:
+// one dense-array load indexes straight into the handler.  The table is
+// recomputed from the page table (the single source of truth) at the
+// few sites that change a page's mode — fault, refault, relocation,
+// eviction, replica collapse — and a debug assertion on the hot path
+// checks it against the page table on every dispatch.
+
+/// Page unmapped: take a first-touch fault.
+const ACT_FAULT: u8 = 0;
+/// Page homed here: local directory + memory service.
+const ACT_HOME: u8 = 1;
+/// S-COMA mapping: probe the page cache's valid bits.
+const ACT_SCOMA: u8 = 2;
+/// CC-NUMA mapping: RAC probe, then remote fetch.
+const ACT_NUMA: u8 = 3;
+/// Pure-S-COMA page evicted to NUMA mode: re-fault into a frame (falls
+/// through to the CC-NUMA path only if no frame can be had).
+const ACT_REFAULT: u8 = 4;
+
+/// The action byte for a page in `mode` under `arch`.
+#[inline]
+fn action_for(arch: Arch, mode: PageMode) -> u8 {
+    match mode {
+        PageMode::Unmapped => ACT_FAULT,
+        PageMode::Home => ACT_HOME,
+        PageMode::Scoma { .. } => ACT_SCOMA,
+        PageMode::Numa if arch == Arch::Scoma => ACT_REFAULT,
+        PageMode::Numa => ACT_NUMA,
+    }
+}
+
 /// One node actor.
 struct NodeCtx<'t> {
     clock: Cycles,
@@ -55,6 +89,9 @@ struct NodeCtx<'t> {
     l1: DirectMappedCache,
     rac: Option<DirectMappedCache>,
     pt: PageTable,
+    /// Per-page action bytes (see [`action_for`]), the L1-miss dispatch
+    /// table.  Kept coherent with `pt` at every mode-changing site.
+    act: Vec<u8>,
     tlb: Tlb,
     pool: FramePool,
     daemon: PageoutDaemon,
@@ -172,6 +209,7 @@ impl<'t, S: Sink> Machine<'t, S> {
                     rac: (cfg.rac_bytes > 0)
                         .then(|| DirectMappedCache::new(cfg.rac_bytes, geo.block_bytes())),
                     pt: PageTable::new(trace.shared_pages, geo.blocks_per_page()),
+                    act: vec![ACT_FAULT; trace.shared_pages as usize],
                     tlb: Tlb::paper(),
                     pool,
                     daemon: PageoutDaemon::new(cfg.kernel.daemon_period),
@@ -225,16 +263,34 @@ impl<'t, S: Sink> Machine<'t, S> {
     /// it recorded).
     pub fn run_into(mut self) -> (RunResult, S) {
         while let Some((node, t)) = self.sched.pop() {
-            if S::ENABLED && t >= self.next_sample {
-                // The sampler observes node state between scheduler steps
-                // and never touches timing state, so it cannot perturb
-                // the simulation.
-                self.emit_samples();
-                while self.next_sample <= t {
-                    self.next_sample += self.cfg.obs_sample_period;
+            let n = node.idx();
+            let mut t = t;
+            loop {
+                if S::ENABLED && t >= self.next_sample {
+                    // The sampler observes node state between scheduler
+                    // steps and never touches timing state, so it cannot
+                    // perturb the simulation.
+                    self.emit_samples();
+                    while self.next_sample <= t {
+                        self.next_sample += self.cfg.obs_sample_period;
+                    }
                 }
+                if !self.step(n) {
+                    break;
+                }
+                // Run-to-quiescence: while the node's new clock still
+                // beats the scheduler's runner-up, the push/pop pair is
+                // a no-op — keep stepping with a single compare.  The
+                // interleaving is identical to push-then-pop because the
+                // compare is exactly the pop fast-path condition.
+                let clock = self.nodes[n].clock;
+                if self.sched.requeue_is_next(node, clock) {
+                    t = clock;
+                    continue;
+                }
+                self.sched.push(node, clock);
+                break;
             }
-            self.step(node.idx());
         }
         assert!(
             self.nodes.iter().all(|n| n.done),
@@ -250,6 +306,12 @@ impl<'t, S: Sink> Machine<'t, S> {
     /// the sampled node's own clock (node clocks are monotone, so per-node
     /// event streams stay time-ordered).
     fn emit_samples(&mut self) {
+        if !S::ENABLED {
+            // Belt and braces with the call-site gate: the constant fold
+            // deletes every sample construction below for `NoopSink`
+            // builds even if a future call site forgets its own gate.
+            return;
+        }
         for n in 0..self.nodes.len() {
             let node = NodeId(n as u16);
             let ctx = &self.nodes[n];
@@ -365,7 +427,13 @@ impl<'t, S: Sink> Machine<'t, S> {
         }
     }
 
-    fn step(&mut self, n: usize) {
+    /// Execute one operation for node `n`.  Returns whether the node is
+    /// still runnable and should be requeued at its (advanced) clock —
+    /// the caller owns the requeue so the quiescent loop in `run_into`
+    /// can skip it.  Nodes that block (barrier, contended lock) or
+    /// finish return `false`; their wake-ups are pushed by the release
+    /// paths.
+    fn step(&mut self, n: usize) -> bool {
         let op = self.nodes[n].runner.next();
         match op {
             None => {
@@ -373,21 +441,23 @@ impl<'t, S: Sink> Machine<'t, S> {
                 self.nodes[n].finish = self.nodes[n].clock;
                 self.active -= 1;
                 self.maybe_release_barrier();
+                false
             }
             Some(Op::Compute(c)) => {
                 self.charge(n, Bucket::Instr, c);
-                self.push(n);
+                true
             }
             Some(Op::Barrier) => {
                 self.nodes[n].at_barrier = true;
                 self.waiting += 1;
                 self.barrier_arrivals[n] = Some(self.nodes[n].clock);
                 self.maybe_release_barrier();
+                false
             }
             Some(Op::Lock(l)) => self.lock(n, l as usize),
             Some(Op::Unlock(l)) => {
                 self.unlock(n, l as usize);
-                self.push(n);
+                true
             }
             Some(Op::Access {
                 addr,
@@ -403,7 +473,7 @@ impl<'t, S: Sink> Machine<'t, S> {
                 } else {
                     self.shared_access(n, addr, write);
                 }
-                self.push(n);
+                true
             }
         }
     }
@@ -448,8 +518,9 @@ impl<'t, S: Sink> Machine<'t, S> {
     /// Acquire lock `l` for node `n`: an uncontended acquire costs one
     /// synchronization round trip; a contended one blocks the node until
     /// the holder releases (FIFO hand-off), with the wait charged to
-    /// `SYNC` exactly like the paper's lock-stall accounting.
-    fn lock(&mut self, n: usize, l: usize) {
+    /// `SYNC` exactly like the paper's lock-stall accounting.  Returns
+    /// whether the node keeps running (acquired without contention).
+    fn lock(&mut self, n: usize, l: usize) -> bool {
         if self.locks.len() <= l {
             self.locks.resize_with(l + 1, LockState::default);
         }
@@ -461,13 +532,14 @@ impl<'t, S: Sink> Machine<'t, S> {
         match lock.held_by {
             None => {
                 lock.held_by = Some(n);
-                self.push(n);
+                true
             }
             Some(holder) => {
                 debug_assert_ne!(holder, n, "re-acquire of held lock {l}");
                 lock.waiters.push_back((n, now));
                 self.nodes[n].kstats.lock_contended += 1;
                 // Blocked: not rescheduled until the holder releases.
+                false
             }
         }
     }
@@ -580,36 +652,46 @@ impl<'t, S: Sink> Machine<'t, S> {
             return;
         }
         ctx.charge(Bucket::ShMem, l1_hit);
-        let mut mode = ctx.pt.touch_and_mode(page);
+        ctx.pt.touch(page);
+        // One byte load replaces the mode match + arch test: the action
+        // table encodes `(arch, mode)` per page, updated at remap sites.
+        let pi = page.0 as usize;
+        let mut act = ctx.act[pi];
+        debug_assert_eq!(
+            act,
+            action_for(self.arch, ctx.pt.mode(page)),
+            "action table out of sync for node {n} page {page:?}"
+        );
 
         // Read-only replication extension: the first write to a
         // replicated page collapses every replica back to CC-NUMA.
         if write && self.cfg.policy.replicate_read_only {
             self.collapse_replicas(n, page);
-            mode = self.nodes[n].pt.mode(page);
+            act = self.nodes[n].act[pi];
         }
 
         // Ensure the page is mapped.
-        let home = self.homes[page.0 as usize];
-        if mode == PageMode::Unmapped {
+        let home = self.homes[pi];
+        if act == ACT_FAULT {
             self.handle_fault(n, page, home);
             self.debug_check_frames(n);
-            mode = self.nodes[n].pt.mode(page);
+            act = self.nodes[n].act[pi];
         }
         // Pure S-COMA: a page evicted to "NUMA" mode is effectively
         // unmapped and must be re-faulted into a frame (this is the
         // thrashing loop that sinks S-COMA at high pressure).
-        if self.arch == Arch::Scoma && mode == PageMode::Numa {
+        if act == ACT_REFAULT {
             self.scoma_refault(n, page);
             self.debug_check_frames(n);
-            mode = self.nodes[n].pt.mode(page);
+            act = self.nodes[n].act[pi];
         }
 
-        match mode {
-            PageMode::Unmapped => unreachable!("fault established a mapping"),
-            PageMode::Home => self.home_miss(n, page, block, addr, write),
-            PageMode::Scoma { .. } => self.scoma_miss(n, page, block, addr, write),
-            PageMode::Numa => self.numa_miss(n, page, block, addr, write, home),
+        match act {
+            ACT_HOME => self.home_miss(n, page, block, addr, write),
+            ACT_SCOMA => self.scoma_miss(n, page, block, addr, write),
+            // A refault that found no frame falls through on the NUMA path.
+            ACT_NUMA | ACT_REFAULT => self.numa_miss(n, page, block, addr, write, home),
+            _ => unreachable!("fault established a mapping"),
         }
     }
 
@@ -1000,6 +1082,15 @@ impl<'t, S: Sink> Machine<'t, S> {
 
     // ----- faults, relocation, replacement -----
 
+    /// Recompute node `n`'s action byte for `page` from the page table
+    /// (the single source of truth).  Called at every mode-changing
+    /// site: fault, refault, relocation, eviction, replica collapse.
+    #[inline]
+    fn set_action(&mut self, n: usize, page: VPage) {
+        let ctx = &mut self.nodes[n];
+        ctx.act[page.0 as usize] = action_for(self.arch, ctx.pt.mode(page));
+    }
+
     /// Collapse every read-only replica of `page` (including the
     /// writer's own) back to a CC-NUMA mapping: the replication
     /// extension's coherence action on the first write.  The writer pays
@@ -1011,6 +1102,7 @@ impl<'t, S: Sink> Machine<'t, S> {
         // read-only by construction.
         if self.arch == Arch::CcNuma && self.nodes[n].pt.mode(page).is_scoma() {
             let frame = self.nodes[n].pt.unmap_scoma(page);
+            self.set_action(n, page);
             self.nodes[n].pool.release(frame);
             self.nodes[n].tlb.invalidate(page);
             self.charge(n, Bucket::KOverhd, self.cfg.kernel.remap);
@@ -1042,6 +1134,7 @@ impl<'t, S: Sink> Machine<'t, S> {
                 rac.invalidate_range(base, geo.page_bytes());
             }
             let frame = ctx.pt.unmap_scoma(page);
+            ctx.act[page.0 as usize] = action_for(self.arch, ctx.pt.mode(page));
             ctx.pool.release(frame);
             ctx.tlb.invalidate(page);
             ctx.exec.k_overhd += self.cfg.kernel.remap;
@@ -1077,6 +1170,7 @@ impl<'t, S: Sink> Machine<'t, S> {
         self.nodes[n].kstats.page_faults += 1;
         if home == node {
             self.nodes[n].pt.map_home(page);
+            self.set_action(n, page);
             if S::ENABLED {
                 self.emit(
                     n,
@@ -1098,6 +1192,7 @@ impl<'t, S: Sink> Machine<'t, S> {
         {
             if let Some(frame) = self.nodes[n].pool.alloc() {
                 self.nodes[n].pt.map_scoma(page, frame);
+                self.set_action(n, page);
                 self.dir.add_replica(node, page);
                 self.nodes[n].kstats.replications += 1;
                 if S::ENABLED {
@@ -1130,6 +1225,7 @@ impl<'t, S: Sink> Machine<'t, S> {
                 }
             }
         };
+        self.set_action(n, page);
         if S::ENABLED {
             self.emit(n, Event::PageMapped { node, page, mode });
         }
@@ -1142,6 +1238,7 @@ impl<'t, S: Sink> Machine<'t, S> {
         self.charge(n, Bucket::KOverhd, self.cfg.kernel.remap);
         if let Some(frame) = self.acquire_frame(n) {
             self.nodes[n].pt.map_scoma(page, frame);
+            self.set_action(n, page);
             self.top_up_pool(n);
             if S::ENABLED {
                 let node = NodeId(n as u16);
@@ -1335,7 +1432,9 @@ impl<'t, S: Sink> Machine<'t, S> {
                 },
             );
         }
-        self.nodes[n].pt.unmap_scoma(page)
+        let frame = self.nodes[n].pt.unmap_scoma(page);
+        self.set_action(n, page);
+        frame
     }
 
     /// CC-NUMA -> S-COMA relocation (the refetch-threshold interrupt).
@@ -1367,6 +1466,7 @@ impl<'t, S: Sink> Machine<'t, S> {
                 self.nodes[n].kstats.blocks_flushed += dropped as u64;
                 self.nodes[n].tlb.invalidate(page);
                 self.nodes[n].pt.map_scoma(page, frame);
+                self.set_action(n, page);
                 self.dir.reset_refetch(page, node);
                 self.nodes[n].kstats.upgrades += 1;
                 self.nodes[n].upgraded[page.0 as usize] = true;

@@ -99,6 +99,11 @@ impl Default for NetTimings {
 pub struct Network {
     topology: Topology,
     timings: NetTimings,
+    /// Routed wire latency for every `(from, to)` pair, row-major
+    /// `from * nodes + to`, precomputed at construction.  Routes are a
+    /// pure function of the (fixed) topology, so the per-send division
+    /// and hop arithmetic collapse to one table load.
+    wires: Vec<Cycles>,
     /// One input port per node (the only contention point, as in the paper).
     input_ports: Vec<Resource>,
     messages: u64,
@@ -108,8 +113,22 @@ pub struct Network {
 impl Network {
     /// Build an interconnect over `topology` with the given timings.
     pub fn new(topology: Topology, timings: NetTimings) -> Self {
+        let nodes = topology.nodes();
+        let mut wires = Vec::with_capacity(nodes * nodes);
+        for from in 0..nodes {
+            for to in 0..nodes {
+                let (links, switches) = topology.route(NodeId(from as u16), NodeId(to as u16));
+                wires.push(
+                    timings.ni_cycles
+                        + links as Cycles * timings.link_propagation
+                        + switches as Cycles * timings.fall_through
+                        + timings.ni_cycles,
+                );
+            }
+        }
         Self {
-            input_ports: vec![Resource::new(); topology.nodes()],
+            wires,
+            input_ports: vec![Resource::new(); nodes],
             topology,
             timings,
             messages: 0,
@@ -124,12 +143,9 @@ impl Network {
 
     /// Zero-contention one-way latency between two distinct nodes,
     /// excluding port occupancy (header still charged at the port).
+    #[inline]
     pub fn wire_latency(&self, from: NodeId, to: NodeId) -> Cycles {
-        let (links, switches) = self.topology.route(from, to);
-        self.timings.ni_cycles
-            + links as Cycles * self.timings.link_propagation
-            + switches as Cycles * self.timings.fall_through
-            + self.timings.ni_cycles
+        self.wires[from.idx() * self.topology.nodes() + to.idx()]
     }
 
     /// Send `payload_bytes` from `from` to `to` at `now`; returns the time
@@ -137,7 +153,9 @@ impl Network {
     ///
     /// The message occupies the destination's input port for a header cost
     /// plus a per-32-byte cost; queueing there is the network contention
-    /// the paper models.
+    /// the paper models.  Uncontended, this is a table load, two
+    /// multiplies and a max.
+    #[inline]
     pub fn send(&mut self, now: Cycles, from: NodeId, to: NodeId, payload_bytes: u64) -> Cycles {
         self.messages += 1;
         self.payload_bytes += payload_bytes;
@@ -284,6 +302,26 @@ mod tests {
         n.send(0, NodeId(0), NodeId(1), 0);
         assert_eq!(n.messages(), 2);
         assert_eq!(n.payload_bytes(), 128);
+    }
+
+    #[test]
+    fn wire_table_matches_routed_formula() {
+        // The precomputed table must agree with the route formula for
+        // every pair, diagonal included (2x ni, no links or switches),
+        // on a two-level topology where both route shapes occur.
+        let n = Network::paper(16);
+        let t = n.timings();
+        for from in 0..16u16 {
+            for to in 0..16u16 {
+                let (links, switches) = n.topology().route(NodeId(from), NodeId(to));
+                let formula = t.ni_cycles
+                    + links as Cycles * t.link_propagation
+                    + switches as Cycles * t.fall_through
+                    + t.ni_cycles;
+                assert_eq!(n.wire_latency(NodeId(from), NodeId(to)), formula);
+            }
+        }
+        assert_eq!(n.wire_latency(NodeId(3), NodeId(3)), 16);
     }
 
     #[test]

@@ -57,18 +57,210 @@ pub struct FetchOutcome {
     pub refetch_count: u32,
 }
 
-/// Per-block directory entry.
-#[derive(Debug, Clone, Copy, Default)]
-struct BlockEntry {
-    /// Nodes holding a (possibly stale-tracked) copy.
+/// A per-entry node bitset: `u16` for the packed (≤16-node) store, `u64`
+/// for the wide fallback.  Abstracts just enough for the entry-mutation
+/// helpers to be written once and monomorphized per store.
+trait Mask:
+    Copy
+    + Eq
+    + Default
+    + std::ops::BitAnd<Output = Self>
+    + std::ops::BitOrAssign
+    + std::ops::BitAndAssign
+    + std::ops::Not<Output = Self>
+{
+    /// Node-count capacity of this mask width.
+    const CAP: usize;
+    /// The presence bit of `node`.
+    fn bit(node: NodeId) -> Self;
+    /// Widen to the public [`NodeSet`] type.
+    fn widen(self) -> NodeSet;
+    /// Whether any bit is set.
+    #[inline]
+    fn any(self) -> bool {
+        self != Self::default()
+    }
+}
+
+impl Mask for u16 {
+    const CAP: usize = 16;
+    #[inline]
+    fn bit(node: NodeId) -> Self {
+        debug_assert!(node.idx() < Self::CAP);
+        1 << node.0
+    }
+    #[inline]
+    fn widen(self) -> NodeSet {
+        NodeSet(self as u64)
+    }
+}
+
+impl Mask for u64 {
+    const CAP: usize = 64;
+    #[inline]
+    fn bit(node: NodeId) -> Self {
+        debug_assert!(node.idx() < Self::CAP);
+        1 << node.0
+    }
+    #[inline]
+    fn widen(self) -> NodeSet {
+        NodeSet(self)
+    }
+}
+
+/// Per-block directory entry: 8 bytes packed (`M = u16`), 32 wide.
+#[derive(Debug, Clone, Copy)]
+struct BlockEntry<M> {
+    /// Bitset of nodes holding a (possibly stale-tracked) copy.
+    copyset: M,
+    /// Bitset of nodes that have fetched this block at least once, ever.
+    ever: M,
+    /// Bitset of nodes whose copy was dropped by a remap flush; their
+    /// next fetch is an induced cold miss.
+    induced: M,
+    /// Dirty owner id, [`NO_OWNER`] when the block is clean at home.
+    owner: u16,
+}
+
+/// Owner sentinel: no node holds the block dirty.
+const NO_OWNER: u16 = u16::MAX;
+
+/// Node-count ceiling imposed by the wide entry's `u64` bitsets.
+pub const MAX_NODES: usize = 64;
+
+impl<M: Mask> Default for BlockEntry<M> {
+    fn default() -> Self {
+        Self {
+            copyset: M::default(),
+            ever: M::default(),
+            induced: M::default(),
+            owner: NO_OWNER,
+        }
+    }
+}
+
+/// The block-entry array, monomorphized by mask width.
+///
+/// The directory is the largest randomly-indexed structure in the
+/// simulator (megabytes for the big sweep cells), so entry size is
+/// directly DRAM traffic on the per-miss path: the packed store fits 8
+/// entries per cache line versus 2 with `NodeSet`/`Option<NodeId>`
+/// fields.  Every modeled sweep configuration uses 8 nodes and takes the
+/// packed arm; the wide arm exists for the ≤[`MAX_NODES`] scaling-study
+/// machines.  The public API speaks [`NodeSet`] either way, converted at
+/// the boundary; the per-call `match` is one perfectly-predicted branch.
+#[derive(Debug, Clone)]
+enum BlockStore {
+    /// ≤16 nodes: 8-byte entries.
+    Packed(Vec<BlockEntry<u16>>),
+    /// 17–64 nodes: `u64` masks.
+    Wide(Vec<BlockEntry<u64>>),
+}
+
+/// Read-only widened view of one entry, for accessors and validation.
+#[derive(Debug, Clone, Copy)]
+struct EntryView {
     copyset: NodeSet,
-    /// Dirty owner, if the block is modified remotely.
-    owner: Option<NodeId>,
-    /// Nodes that have fetched this block at least once, ever.
     ever: NodeSet,
-    /// Nodes whose copy was dropped by a remap flush; their next fetch is
-    /// an induced cold miss.
     induced: NodeSet,
+    owner: Option<NodeId>,
+}
+
+#[inline]
+fn view<M: Mask>(e: &BlockEntry<M>) -> EntryView {
+    EntryView {
+        copyset: e.copyset.widen(),
+        ever: e.ever.widen(),
+        induced: e.induced.widen(),
+        owner: (e.owner != NO_OWNER).then_some(NodeId(e.owner)),
+    }
+}
+
+/// Entry mutation for [`Directory::fetch`]: classify the miss, then apply
+/// copyset/owner/ever/induced updates.  Returns the classification, the
+/// forward source, and the raw invalidation set (write fetches).
+#[inline]
+fn fetch_entry<M: Mask>(
+    e: &mut BlockEntry<M>,
+    node: NodeId,
+    write: bool,
+) -> (FetchClass, Option<NodeId>, NodeSet) {
+    // Classify before mutating membership: a 3-bit (ever, induced,
+    // copyset) membership index into a constant table.  Miss classes
+    // are effectively random across blocks, so a branch chain here
+    // mispredicts heavily on the hottest protocol path.
+    const CLASS: [FetchClass; 8] = [
+        FetchClass::ColdEssential, // never fetched (low bits moot:
+        FetchClass::ColdEssential, // induced/copyset ⊆ ever)
+        FetchClass::ColdEssential,
+        FetchClass::ColdEssential,
+        FetchClass::Coherence,   // ever, not induced, not in copyset
+        FetchClass::Refetch,     // ever, not induced, still a sharer
+        FetchClass::ColdInduced, // ever, induced (copyset clear by
+        FetchClass::ColdInduced, // the induced ∩ copyset invariant)
+    ];
+    let b = M::bit(node);
+    let idx = (((e.ever & b).any() as usize) << 2)
+        | (((e.induced & b).any() as usize) << 1)
+        | (e.copyset & b).any() as usize;
+    let class = CLASS[idx];
+
+    // A dirty remote owner forces a 3-hop forward (ownership is
+    // returned home; the owner keeps a shared copy on reads).
+    let forward_from = (e.owner != NO_OWNER && e.owner != node.0).then_some(NodeId(e.owner));
+
+    let mut invalidate = NodeSet::empty();
+    if write {
+        invalidate = (e.copyset & !b).widen();
+        e.copyset = b;
+        e.owner = node.0;
+    } else {
+        if e.owner != NO_OWNER && e.owner != node.0 {
+            // Dirty data written back home; owner downgrades to shared.
+            e.owner = NO_OWNER;
+        }
+        e.copyset |= b;
+    }
+    e.ever |= b;
+    e.induced &= !b;
+    (class, forward_from, invalidate)
+}
+
+/// Entry mutation for [`Directory::flush_page`]: drop `node`'s copy and
+/// mark it induced-cold.  Returns `(dropped, was_dirty)`.
+#[inline]
+fn flush_entry<M: Mask>(e: &mut BlockEntry<M>, node: NodeId) -> (bool, bool) {
+    let nb = M::bit(node);
+    if !(e.copyset & nb).any() {
+        return (false, false);
+    }
+    e.copyset &= !nb;
+    let dirty = e.owner == node.0;
+    if dirty {
+        e.owner = NO_OWNER;
+    }
+    e.induced |= nb;
+    (true, dirty)
+}
+
+/// Entry mutation for [`Directory::writeback`]: ownership returns home.
+#[inline]
+fn writeback_entry<M: Mask>(e: &mut BlockEntry<M>, node: NodeId) {
+    if e.owner == node.0 {
+        e.owner = NO_OWNER;
+    }
+}
+
+/// Entry mutation for [`Directory::upgrade`]: exclusivity to `node`.
+/// Returns the copies to invalidate.
+#[inline]
+fn upgrade_entry<M: Mask>(e: &mut BlockEntry<M>, node: NodeId) -> NodeSet {
+    let nb = M::bit(node);
+    debug_assert!((e.copyset & nb).any(), "upgrade from non-sharer {node}");
+    let invalidate = (e.copyset & !nb).widen();
+    e.copyset = nb;
+    e.owner = node.0;
+    invalidate
 }
 
 /// Seeded directory faults for conformance-checker self-tests: each must
@@ -94,7 +286,7 @@ pub enum DirFault {
 pub struct Directory {
     geometry: Geometry,
     nodes: usize,
-    blocks: Vec<BlockEntry>,
+    blocks: BlockStore,
     /// Refetch counters, `[page * nodes + node]`, saturating.
     refetch: Vec<u32>,
     /// Total refetches observed (Table 6 numerator input).
@@ -111,13 +303,24 @@ pub struct Directory {
 }
 
 impl Directory {
-    /// A directory covering `num_pages` shared pages for `nodes` nodes.
+    /// A directory covering `num_pages` shared pages for `nodes` nodes
+    /// (at most [`MAX_NODES`] — the wide entry layout's ceiling).
     pub fn new(geometry: Geometry, num_pages: u64, nodes: usize) -> Self {
+        assert!(
+            nodes <= MAX_NODES,
+            "directory entries support at most {MAX_NODES} nodes (got {nodes}); \
+             widen BlockEntry's bitsets to grow the machine"
+        );
         let nblocks = (num_pages * geometry.blocks_per_page() as u64) as usize;
+        let blocks = if nodes <= <u16 as Mask>::CAP {
+            BlockStore::Packed(vec![BlockEntry::default(); nblocks])
+        } else {
+            BlockStore::Wide(vec![BlockEntry::default(); nblocks])
+        };
         Self {
             geometry,
             nodes,
-            blocks: vec![BlockEntry::default(); nblocks],
+            blocks,
             refetch: vec![0; num_pages as usize * nodes],
             total_refetches: 0,
             page_written: vec![false; num_pages as usize],
@@ -134,8 +337,19 @@ impl Directory {
     }
 
     #[inline]
-    fn entry(&mut self, b: BlockId) -> &mut BlockEntry {
-        &mut self.blocks[b.0 as usize]
+    fn entry_view(&self, b: usize) -> EntryView {
+        match &self.blocks {
+            BlockStore::Packed(v) => view(&v[b]),
+            BlockStore::Wide(v) => view(&v[b]),
+        }
+    }
+
+    #[inline]
+    fn num_blocks(&self) -> usize {
+        match &self.blocks {
+            BlockStore::Packed(v) => v.len(),
+            BlockStore::Wide(v) => v.len(),
+        }
     }
 
     #[inline]
@@ -148,60 +362,34 @@ impl Directory {
     /// Updates copyset/owner state and the refetch counter, and classifies
     /// the miss.  The caller applies the returned invalidations to the
     /// other nodes' caches and charges latencies.
+    #[inline]
     pub fn fetch(&mut self, node: NodeId, block: BlockId, write: bool) -> FetchOutcome {
         let page = self.geometry.page_of_block(block);
         let slot = self.refetch_slot(page, node);
-        if write {
-            self.page_written[page.0 as usize] = true;
-        }
+        self.page_written[page.0 as usize] |= write;
+        let bi = block.0 as usize;
+        let (class, forward_from, invalidate) = match &mut self.blocks {
+            BlockStore::Packed(v) => fetch_entry(&mut v[bi], node, write),
+            BlockStore::Wide(v) => fetch_entry(&mut v[bi], node, write),
+        };
+
+        // Seeded fault: drop one victim from the invalidation set the
+        // caller will act on, while the copyset is reset normally —
+        // that sharer keeps a stale valid copy.
         #[cfg(feature = "check")]
-        let fault = self.fault;
-        let e = self.entry(block);
-
-        // Classify before mutating membership.
-        let class = if !e.ever.contains(node) {
-            FetchClass::ColdEssential
-        } else if e.induced.contains(node) {
-            FetchClass::ColdInduced
-        } else if e.copyset.contains(node) {
-            FetchClass::Refetch
-        } else {
-            FetchClass::Coherence
-        };
-
-        // A dirty remote owner forces a 3-hop forward (ownership is
-        // returned home; the owner keeps a shared copy on reads).
-        let forward_from = match e.owner {
-            Some(o) if o != node => Some(o),
-            _ => None,
-        };
-
-        let mut invalidate = NodeSet::empty();
-        if write {
-            invalidate = e.copyset.without(node);
-            // Seeded fault: drop one victim from the invalidation set the
-            // caller will act on, while the copyset is reset normally —
-            // that sharer keeps a stale valid copy.
-            #[cfg(feature = "check")]
-            if fault == Some(DirFault::SkipInvalidation) {
+        let invalidate = {
+            let mut invalidate = invalidate;
+            if write && self.fault == Some(DirFault::SkipInvalidation) {
                 if let Some(skip) = invalidate.iter().next() {
                     invalidate.remove(skip);
                 }
             }
-            e.copyset = NodeSet::single(node);
-            e.owner = Some(node);
-        } else {
-            if let Some(o) = e.owner {
-                if o != node {
-                    // Dirty data written back home; owner downgrades to shared.
-                    e.owner = None;
-                }
-            }
-            e.copyset.insert(node);
-        }
-        e.ever.insert(node);
-        e.induced.remove(node);
+            invalidate
+        };
 
+        // Conditional on purpose: an unconditional read-modify-write would
+        // dirty the counter's cache line on every fetch, doubling the
+        // directory's write traffic for the (majority) non-refetch classes.
         let refetch_count = if class == FetchClass::Refetch {
             self.total_refetches += 1;
             let c = &mut self.refetch[slot];
@@ -232,15 +420,14 @@ impl Directory {
         let mut dirty = 0;
         for i in 0..bpp {
             let b = self.geometry.block_id(page, i);
-            let e = self.entry(b);
-            if e.copyset.contains(node) {
+            let bi = b.0 as usize;
+            let (was_dropped, was_dirty) = match &mut self.blocks {
+                BlockStore::Packed(v) => flush_entry(&mut v[bi], node),
+                BlockStore::Wide(v) => flush_entry(&mut v[bi], node),
+            };
+            if was_dropped {
                 dropped += 1;
-                e.copyset.remove(node);
-                if e.owner == Some(node) {
-                    e.owner = None;
-                    dirty += 1;
-                }
-                e.induced.insert(node);
+                dirty += was_dirty as u32;
                 self.debug_validate_entry(b);
             }
         }
@@ -255,15 +442,11 @@ impl Directory {
     pub fn upgrade(&mut self, node: NodeId, block: BlockId) -> NodeSet {
         let page = self.geometry.page_of_block(block);
         self.page_written[page.0 as usize] = true;
-        let e = self.entry(block);
-        debug_assert!(
-            e.copyset.contains(node),
-            "upgrade from non-sharer {node} for block {}",
-            block.0
-        );
-        let invalidate = e.copyset.without(node);
-        e.copyset = NodeSet::single(node);
-        e.owner = Some(node);
+        let bi = block.0 as usize;
+        let invalidate = match &mut self.blocks {
+            BlockStore::Packed(v) => upgrade_entry(&mut v[bi], node),
+            BlockStore::Wide(v) => upgrade_entry(&mut v[bi], node),
+        };
         self.debug_validate_entry(block);
         invalidate
     }
@@ -277,9 +460,10 @@ impl Directory {
     /// `fetch`, where re-requests from copyset members classify as
     /// refetches).
     pub fn writeback(&mut self, node: NodeId, block: BlockId) {
-        let e = self.entry(block);
-        if e.owner == Some(node) {
-            e.owner = None;
+        let bi = block.0 as usize;
+        match &mut self.blocks {
+            BlockStore::Packed(v) => writeback_entry(&mut v[bi], node),
+            BlockStore::Wide(v) => writeback_entry(&mut v[bi], node),
         }
         self.debug_validate_entry(block);
     }
@@ -309,28 +493,28 @@ impl Directory {
 
     /// Whether `node` currently holds a tracked copy of `block`.
     pub fn in_copyset(&self, node: NodeId, block: BlockId) -> bool {
-        self.blocks[block.0 as usize].copyset.contains(node)
+        self.entry_view(block.0 as usize).copyset.contains(node)
     }
 
     /// The full copyset of `block` (invariant checking / inspection).
     pub fn copyset_of(&self, block: BlockId) -> NodeSet {
-        self.blocks[block.0 as usize].copyset
+        self.entry_view(block.0 as usize).copyset
     }
 
     /// The dirty owner of `block`, if any.
     pub fn owner_of(&self, block: BlockId) -> Option<NodeId> {
-        self.blocks[block.0 as usize].owner
+        self.entry_view(block.0 as usize).owner
     }
 
     /// Nodes that have ever fetched `block` (canonical-state input for
     /// the conformance checker).
     pub fn ever_of(&self, block: BlockId) -> NodeSet {
-        self.blocks[block.0 as usize].ever
+        self.entry_view(block.0 as usize).ever
     }
 
     /// Nodes whose next fetch of `block` classifies as induced-cold.
     pub fn induced_of(&self, block: BlockId) -> NodeSet {
-        self.blocks[block.0 as usize].induced
+        self.entry_view(block.0 as usize).induced
     }
 
     /// Number of nodes whose refetch count on `page` reached `threshold`.
@@ -392,7 +576,7 @@ impl Directory {
     /// Structural self-check of one block entry.  Returns the first
     /// violated rule, if any.
     fn entry_error(&self, b: usize) -> Option<String> {
-        let e = &self.blocks[b];
+        let e = self.entry_view(b);
         if let Some(o) = e.owner {
             if e.copyset != NodeSet::single(o) {
                 return Some(format!(
@@ -413,12 +597,11 @@ impl Directory {
                 }
             }
         }
-        for n in e.induced.iter() {
-            if e.copyset.contains(n) {
-                return Some(format!(
-                    "block {b}: node {n} both in copyset and induced-cold"
-                ));
-            }
+        let both = NodeSet(e.induced.0 & e.copyset.0);
+        if !both.is_empty() {
+            return Some(format!(
+                "block {b}: nodes {both:?} both in copyset and induced-cold"
+            ));
         }
         None
     }
@@ -429,7 +612,7 @@ impl Directory {
     /// unwritten).  `O(blocks × nodes)` — meant for barrier-time and
     /// test probes, not per-access paths.
     pub fn validate(&self) -> Result<(), String> {
-        for b in 0..self.blocks.len() {
+        for b in 0..self.num_blocks() {
             if let Some(e) = self.entry_error(b) {
                 return Err(e);
             }

@@ -12,13 +12,16 @@ use crate::mode::PageMode;
 use ascoma_sim::addr::VPage;
 
 /// Per-page, per-node VM state.
+///
+/// The TLB reference bit lives *outside* this struct (see
+/// [`PageTable::touch`]): it is written on every shared access, so it
+/// gets a dense byte array of its own and the hot path never pulls a
+/// full entry's cache line just to set one bit.
 #[derive(Debug, Clone, Copy)]
 struct PageEntry {
     mode: PageMode,
     /// Per-block valid bits for S-COMA pages (bit i = block i valid).
     valid: u32,
-    /// TLB reference bit (second-chance input).
-    referenced: bool,
     /// Refetches absorbed by this page since it became S-COMA-mapped
     /// (VC-NUMA's local counter).
     local_refetches: u32,
@@ -31,7 +34,6 @@ impl Default for PageEntry {
         Self {
             mode: PageMode::Unmapped,
             valid: 0,
-            referenced: false,
             local_refetches: 0,
             scoma_pos: 0,
         }
@@ -42,6 +44,10 @@ impl Default for PageEntry {
 #[derive(Debug, Clone)]
 pub struct PageTable {
     entries: Vec<PageEntry>,
+    /// TLB reference bits (second-chance input), one byte per page so
+    /// the per-access [`PageTable::touch`] is a single unconditional
+    /// store into a dense array.
+    referenced: Vec<u8>,
     /// S-COMA-resident pages, in residency order (clock-hand domain).
     scoma_pages: Vec<VPage>,
     blocks_per_page: u32,
@@ -58,6 +64,7 @@ impl PageTable {
         assert!(blocks_per_page <= 32, "valid bitmap is 32 bits wide");
         Self {
             entries: vec![PageEntry::default(); num_pages as usize],
+            referenced: vec![0; num_pages as usize],
             scoma_pages: Vec::new(),
             blocks_per_page,
             #[cfg(feature = "check")]
@@ -103,7 +110,7 @@ impl PageTable {
         let e = self.e_mut(page);
         debug_assert!(!e.mode.is_scoma(), "downgrade must go through unmap_scoma");
         e.mode = PageMode::Numa;
-        e.referenced = true;
+        self.referenced[page.0 as usize] = 1;
     }
 
     /// Map `page` in S-COMA mode backed by `frame`.  All blocks start
@@ -115,9 +122,9 @@ impl PageTable {
             debug_assert!(!e.mode.is_scoma());
             e.mode = PageMode::Scoma { frame };
             e.valid = 0;
-            e.referenced = true;
             e.local_refetches = 0;
         }
+        self.referenced[page.0 as usize] = 1;
         self.scoma_pages.push(page);
         let pos = self.scoma_pages.len() as u32;
         self.e_mut(page).scoma_pos = pos;
@@ -200,31 +207,30 @@ impl PageTable {
         self.e(page).valid.count_ones()
     }
 
-    /// Set the TLB reference bit (called on every access to the page).
+    /// Set the TLB reference bit (called on every access to the page):
+    /// one unconditional byte store into a dense array.
     #[inline]
     pub fn touch(&mut self, page: VPage) {
-        self.e_mut(page).referenced = true;
+        self.referenced[page.0 as usize] = 1;
     }
 
-    /// Fused [`PageTable::touch`] + [`PageTable::mode`]: one entry lookup
-    /// instead of two on the per-access hot path.
+    /// Fused [`PageTable::touch`] + [`PageTable::mode`]: sets the
+    /// reference bit and returns the page's mode in one call.
     #[inline]
     pub fn touch_and_mode(&mut self, page: VPage) -> PageMode {
-        let e = self.e_mut(page);
-        e.referenced = true;
-        e.mode
+        self.referenced[page.0 as usize] = 1;
+        self.e(page).mode
     }
 
     /// Read and clear the reference bit (the pageout daemon's second-chance
     /// step).
     pub fn test_and_clear_referenced(&mut self, page: VPage) -> bool {
-        let e = self.e_mut(page);
-        std::mem::replace(&mut e.referenced, false)
+        std::mem::replace(&mut self.referenced[page.0 as usize], 0) != 0
     }
 
     /// Read the reference bit without clearing.
     pub fn referenced(&self, page: VPage) -> bool {
-        self.e(page).referenced
+        self.referenced[page.0 as usize] != 0
     }
 
     /// Increment the page's local refetch counter (VC-NUMA bookkeeping):

@@ -11,10 +11,22 @@
 use ascoma_sim::addr::VPage;
 
 /// A set-associative TLB over virtual page numbers.
+///
+/// Tags are raw `u64` page numbers with a sentinel for invalid entries
+/// (page numbers are < 2^62 by the packed-trace encoding, so the
+/// sentinel cannot collide): half the footprint of `Option<u64>` slots
+/// and a branch-light compare loop on the per-access probe.
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    /// `sets x ways` entries; `None` = invalid.
-    entries: Vec<Option<u64>>,
+    /// MRU filter: the last page that hit or filled, **provably still
+    /// resident** (cleared whenever its entry could have been shot down
+    /// or evicted).  Spatial locality makes consecutive accesses to the
+    /// same page the overwhelmingly common case, so most probes are one
+    /// compare instead of a set sweep.  A pure shortcut: any filter hit
+    /// would also hit the set sweep, so hit/miss counts are unchanged.
+    mru: u64,
+    /// `sets x ways` tags; [`Tlb::INVALID`] = empty slot.
+    entries: Vec<u64>,
     ways: usize,
     set_mask: u64,
     /// Round-robin fill pointer per set.
@@ -24,6 +36,9 @@ pub struct Tlb {
 }
 
 impl Tlb {
+    /// Tag value marking an empty slot.
+    const INVALID: u64 = u64::MAX;
+
     /// A TLB of `entries` total entries and `ways` associativity (both
     /// powers of two, `ways <= entries`, at most 256 ways).
     pub fn new(entries: usize, ways: usize) -> Self {
@@ -31,7 +46,8 @@ impl Tlb {
         assert!(ways <= entries && ways <= 256);
         let sets = entries / ways;
         Self {
-            entries: vec![None; entries],
+            mru: Self::INVALID,
+            entries: vec![Self::INVALID; entries],
             ways,
             set_mask: sets as u64 - 1,
             fill: vec![0; sets],
@@ -55,27 +71,43 @@ impl Tlb {
     /// software-fill cost.
     #[inline]
     pub fn access(&mut self, page: VPage) -> bool {
+        debug_assert_ne!(page.0, Self::INVALID);
+        // MRU filter: guaranteed resident, so this is the same answer
+        // the sweep would give, one compare sooner.
+        if page.0 == self.mru {
+            self.hits += 1;
+            return true;
+        }
         let set = self.set_of(page);
         let base = set * self.ways;
         let slots = &mut self.entries[base..base + self.ways];
-        if slots.contains(&Some(page.0)) {
+        // Plain equality sweep over raw tags: unrollable and free of
+        // per-slot discriminant branches.
+        if slots.contains(&page.0) {
             self.hits += 1;
+            self.mru = page.0;
             return true;
         }
         self.misses += 1;
         let way = self.fill[set] as usize % self.ways;
         self.fill[set] = self.fill[set].wrapping_add(1);
-        slots[way] = Some(page.0);
+        slots[way] = page.0;
+        // The fill makes `page` resident; reassigning the filter also
+        // covers the case where the round-robin victim was the old MRU.
+        self.mru = page.0;
         false
     }
 
     /// Shoot down the entry for `page` (page remap), if present.
     pub fn invalidate(&mut self, page: VPage) {
+        if self.mru == page.0 {
+            self.mru = Self::INVALID;
+        }
         let set = self.set_of(page);
         let base = set * self.ways;
         for e in &mut self.entries[base..base + self.ways] {
-            if *e == Some(page.0) {
-                *e = None;
+            if *e == page.0 {
+                *e = Self::INVALID;
             }
         }
     }

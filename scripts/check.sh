@@ -93,6 +93,7 @@ crates/bench/src/harness.rs
 crates/bench/src/pacing.rs
 crates/bench/src/bin/perf_baseline.rs
 crates/bench/benches/obs_overhead.rs
+crates/bench/benches/hotpath.rs
 crates/core/src/parallel.rs
 "
 audit_viol=0
