@@ -43,11 +43,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("report") => report_cmd(&args[1..]),
+        Some("soak-report") => soak_report_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
         Some("watch") => watch_cmd(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage: bench report [options]   render an HTML report of one measured run\n\
+                 \x20      bench soak-report [FILE] render the fault-soak summary \
+                 (default results/FAULT_soak.json)\n\
                  \x20      bench diff OLD NEW       compare two baseline JSON files\n\
                  \x20      bench watch [options]    live dashboard for a sweep (see watch --help)\n\
                  run `bench report --help` / `bench watch --help` for options"
@@ -55,6 +58,51 @@ fn main() {
             std::process::exit(if args.is_empty() { 2 } else { 0 });
         }
         Some(other) => die(&format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// `bench soak-report [FILE] [--out report.html]`: render the fault-soak
+/// summary written by `model_check soak` as a self-contained HTML page.
+fn soak_report_cmd(args: &[String]) {
+    let mut input = String::from("results/FAULT_soak.json");
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--out needs a value"))
+                        .clone(),
+                );
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "bench soak-report [FILE]: render the fault-soak summary JSON as HTML\n\
+                     \n\
+                     options:\n\
+                     \x20 --out FILE      write HTML here (default stdout)"
+                );
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => input = other.to_string(),
+            other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+    let text = std::fs::read_to_string(&input)
+        .unwrap_or_else(|e| die(&format!("cannot read {input}: {e}")));
+    let summary = json::parse(&text).unwrap_or_else(|e| die(&format!("cannot parse {input}: {e}")));
+    let html = ascoma_bench::report::render_soak_html(&summary);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, html)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(html.as_bytes());
+        }
     }
 }
 

@@ -34,6 +34,10 @@ pub const ADVISORY_KEYS: &[&str] = &[
     "shared_misses_per_sec",
     "net_messages_per_sec",
     "proto_fetches_per_sec",
+    // Fault-soak summary (DESIGN.md §18): the walk itself is seeded and
+    // deterministic — step, fault, recovery, and violation counters are
+    // compared exactly — but its wall-clock time moves with the host.
+    "soak_wall_ms",
 ];
 
 /// How a single finding is classified.
@@ -303,6 +307,38 @@ mod tests {
         let rep = diff(&old, &new);
         assert!(!rep.has_regressions());
         assert_eq!(rep.of(Severity::Advisory).count(), 2);
+    }
+
+    #[test]
+    fn fault_soak_wall_clock_is_advisory_but_counters_are_exact() {
+        // The soak walk is seeded: transition, fault, and recovery
+        // counts must reproduce exactly; only its wall time may move.
+        let old = j(
+            r#"{"soak_steps":69003,"faults_injected":6000,"recoveries":4719,
+                "soak_violations":0,"soak_wall_ms":273}"#,
+        );
+        let new_time = j(
+            r#"{"soak_steps":69003,"faults_injected":6000,"recoveries":4719,
+                "soak_violations":0,"soak_wall_ms":810}"#,
+        );
+        let rep = diff(&old, &new_time);
+        assert!(!rep.has_regressions());
+        assert_eq!(rep.of(Severity::Advisory).count(), 1);
+
+        let new_drift = j(
+            r#"{"soak_steps":69004,"faults_injected":6000,"recoveries":4719,
+                "soak_violations":0,"soak_wall_ms":273}"#,
+        );
+        let rep = diff(&old, &new_drift);
+        assert!(rep.has_regressions());
+        assert_eq!(rep.findings[0].path, "soak_steps");
+    }
+
+    #[test]
+    fn soak_violation_count_change_is_a_regression() {
+        let old = j(r#"{"soak_violations":0}"#);
+        let new = j(r#"{"soak_violations":2}"#);
+        assert!(diff(&old, &new).has_regressions());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! capacity-refetch count.
 
 use ascoma::result::RunResult;
+use ascoma_obs::json::Json;
 use ascoma_obs::metrics::MetricsRegistry;
 use ascoma_sim::stats::ExecBreakdown;
 use std::fmt::Write as _;
@@ -235,6 +236,113 @@ pub fn render_html(result: &RunResult, registry: &MetricsRegistry, hot_n: usize)
     html
 }
 
+/// Pull a numeric leaf out of a parsed soak summary, defaulting to 0.
+fn soak_num(summary: &Json, key: &str) -> f64 {
+    match summary {
+        Json::Obj(m) => m
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| match v {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(0.0),
+        _ => 0.0,
+    }
+}
+
+/// Render the fault-soak summary (`model_check soak` JSON, DESIGN.md
+/// §18) as a self-contained HTML page: the walk parameters, the
+/// fault/recovery totals, and a horizontal bar per action kind.
+pub fn render_soak_html(summary: &Json) -> String {
+    let config = match summary {
+        Json::Obj(m) => m
+            .iter()
+            .find(|(k, _)| k == "config")
+            .and_then(|(_, v)| match v {
+                Json::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_default(),
+        _ => String::new(),
+    };
+    let violations = soak_num(summary, "soak_violations");
+    let mut html = format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n\
+         <title>fault soak: {c}</title>\n\
+         <style>\n\
+         body {{ font-family: monospace; margin: 2em; max-width: 60em; }}\n\
+         table {{ border-collapse: collapse; margin: 1em 0; }}\n\
+         th, td {{ border: 1px solid #ccc; padding: 3px 10px; text-align: right; }}\n\
+         th:first-child, td:first-child {{ text-align: left; }}\n\
+         h2 {{ margin-top: 1.6em; }}\n\
+         </style></head><body>\n<h1>Fault soak: {c}</h1>\n\
+         <p>{walks} walks &times; {steps} steps (seed {seed}): {total} transitions, \
+         {faults} faults injected, {rec} recoveries, \
+         <strong>{viol} violation{s}</strong> ({ms} ms).</p>\n",
+        c = esc(&config),
+        walks = soak_num(summary, "walks"),
+        steps = soak_num(summary, "steps_per_walk"),
+        seed = soak_num(summary, "seed"),
+        total = soak_num(summary, "soak_steps"),
+        faults = soak_num(summary, "faults_injected"),
+        rec = soak_num(summary, "recoveries"),
+        viol = violations,
+        s = if violations == 1.0 { "" } else { "s" },
+        ms = soak_num(summary, "soak_wall_ms"),
+    );
+    html.push_str("<h2>Transitions by action kind</h2>\n");
+    let kinds: Vec<(String, f64)> = match summary {
+        Json::Obj(m) => m
+            .iter()
+            .find(|(k, _)| k == "kinds")
+            .map(|(_, v)| match v {
+                Json::Obj(km) => km
+                    .iter()
+                    .filter_map(|(k, v)| match v {
+                        Json::Num(n) => Some((k.clone(), *n)),
+                        _ => None,
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            })
+            .unwrap_or_default(),
+        _ => Vec::new(),
+    };
+    if kinds.is_empty() {
+        html.push_str("<p>No transitions recorded.</p>\n");
+    } else {
+        let denom = kinds.iter().map(|(_, n)| *n).fold(1.0, f64::max);
+        let row_h = 18;
+        let h = kinds.len() * row_h + 4;
+        let _ = writeln!(html, "<svg width=\"640\" height=\"{h}\">");
+        for (i, (kind, n)) in kinds.iter().enumerate() {
+            let y = i * row_h + 2;
+            let w = (n / denom * 420.0).max(1.0);
+            let color = if kind.starts_with("fault-") {
+                "#d62728"
+            } else if kind.starts_with("recover-") {
+                "#2ca02c"
+            } else {
+                "#1f77b4"
+            };
+            let _ = writeln!(
+                html,
+                "<text x=\"150\" y=\"{ty}\" text-anchor=\"end\" font-size=\"11\">{k}</text>\
+                 <rect x=\"156\" y=\"{y}\" width=\"{w:.0}\" height=\"{bh}\" fill=\"{color}\"/>\
+                 <text x=\"{tx:.0}\" y=\"{ty}\" font-size=\"11\">{n}</text>",
+                k = esc(kind),
+                ty = y + row_h - 6,
+                bh = row_h - 4,
+                tx = 156.0 + w + 6.0,
+            );
+        }
+        html.push_str("</svg>\n");
+    }
+    html.push_str("</body></html>\n");
+    html
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +366,33 @@ mod tests {
         assert!(!html.contains("http://") || html.contains("www.w3.org"));
         assert!(!html.contains("<script"));
         assert!(!html.contains("<link"));
+    }
+
+    #[test]
+    fn soak_report_renders_counters_and_kind_bars() {
+        let summary = ascoma_obs::json::parse(
+            r#"{"experiment":"fault_soak","config":"3n-2p-2b-4ops-ascoma-f3",
+                "seed":7,"walks":100,"steps_per_walk":64,"soak_steps":3200,
+                "faults_injected":300,"recoveries":250,"soak_violations":0,
+                "soak_wall_ms":12,
+                "kinds":{"complete":1200,"fault-crash":120,"recover-rejoin":120}}"#,
+        )
+        .unwrap();
+        let html = render_soak_html(&summary);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("3n-2p-2b-4ops-ascoma-f3"));
+        assert!(html.contains("300 faults injected"));
+        assert!(html.contains("fault-crash"));
+        assert!(html.contains("recover-rejoin"));
+        assert!(html.contains("<svg"));
+        assert!(html.ends_with("</body></html>\n"));
+        assert!(!html.contains("<script"));
+    }
+
+    #[test]
+    fn soak_report_degrades_on_empty_summary() {
+        let html = render_soak_html(&Json::Obj(Vec::new()));
+        assert!(html.contains("No transitions recorded"));
+        assert!(html.ends_with("</body></html>\n"));
     }
 }

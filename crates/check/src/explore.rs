@@ -23,7 +23,7 @@
 
 use crate::harness::Harness;
 use crate::model::{Action, ModelConfig, ModelHarness};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A path from the initial state of a harness to a violating state.
 #[derive(Debug, Clone)]
@@ -69,6 +69,26 @@ pub struct Outcome<A> {
     pub complete: bool,
     /// The first violation found, if any.
     pub violation: Option<Cex<A>>,
+    /// Transitions applied per [`Harness::action_kind`], sorted by kind
+    /// name — the coverage evidence that (say) a fault-enabled run
+    /// actually took crash/rejoin actions rather than exploring protocol
+    /// traffic only.
+    pub kinds: Vec<(&'static str, usize)>,
+}
+
+impl<A> Outcome<A> {
+    /// Render the per-kind transition counts as `kind:count` pairs (suite
+    /// output).
+    pub fn kinds_summary(&self) -> String {
+        let parts: Vec<String> = self.kinds.iter().map(|(k, c)| format!("{k}:{c}")).collect();
+        parts.join(" ")
+    }
+}
+
+/// Flatten a kind tally into the sorted pair list [`Outcome::kinds`]
+/// carries.
+fn kind_counts(tally: BTreeMap<&'static str, usize>) -> Vec<(&'static str, usize)> {
+    tally.into_iter().collect()
 }
 
 /// Exhaustive breadth-first exploration of `h`, checking every invariant
@@ -83,6 +103,7 @@ pub fn bfs<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
     let mut states_by_id: Vec<H::State> = Vec::new();
     let mut transitions = 0usize;
     let mut max_depth = 0usize;
+    let mut kinds: BTreeMap<&'static str, usize> = BTreeMap::new();
 
     if let Err((inv, detail)) = h.check(&initial) {
         return Outcome {
@@ -95,6 +116,7 @@ pub fn bfs<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
                 detail,
                 trace: Vec::new(),
             }),
+            kinds: Vec::new(),
         };
     }
     ids.insert(h.canon(&initial), 0);
@@ -122,6 +144,7 @@ pub fn bfs<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
         let state = states_by_id[id as usize].clone();
         for action in h.enabled(&state) {
             transitions += 1;
+            *kinds.entry(h.action_kind(&action)).or_insert(0) += 1;
             let next = match h.step(&state, &action) {
                 Ok(next) => next,
                 Err(detail) => {
@@ -135,6 +158,7 @@ pub fn bfs<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
                             detail,
                             trace: rebuild(&parents, id, Some(action)),
                         }),
+                        kinds: kind_counts(kinds),
                     };
                 }
             };
@@ -158,6 +182,7 @@ pub fn bfs<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
                         detail,
                         trace: rebuild(&parents, next_id, None),
                     }),
+                    kinds: kind_counts(kinds),
                 };
             }
             states_by_id.push(next);
@@ -169,6 +194,7 @@ pub fn bfs<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
                     depth: max_depth,
                     complete: false,
                     violation: None,
+                    kinds: kind_counts(kinds),
                 };
             }
         }
@@ -180,6 +206,7 @@ pub fn bfs<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
         depth: max_depth,
         complete: true,
         violation: None,
+        kinds: kind_counts(kinds),
     }
 }
 
@@ -251,6 +278,7 @@ pub fn dpor<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
     let initial = h.initial();
     let mut transitions = 0usize;
     let mut max_depth = 0usize;
+    let mut kinds: BTreeMap<&'static str, usize> = BTreeMap::new();
 
     if let Err((inv, detail)) = h.check(&initial) {
         return Outcome {
@@ -263,6 +291,7 @@ pub fn dpor<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
                 detail,
                 trace: Vec::new(),
             }),
+            kinds: Vec::new(),
         };
     }
     let mut ids: HashMap<Vec<u64>, u32> = HashMap::new();
@@ -299,6 +328,7 @@ pub fn dpor<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
             continue;
         }
         transitions += 1;
+        *kinds.entry(h.action_kind(&action)).or_insert(0) += 1;
         let next = match h.step(&top.state, &action) {
             Ok(next) => next,
             Err(detail) => {
@@ -312,6 +342,7 @@ pub fn dpor<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
                         detail,
                         trace: cex_trace(&path, &action),
                     }),
+                    kinds: kind_counts(kinds),
                 };
             }
         };
@@ -343,6 +374,7 @@ pub fn dpor<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
                     detail,
                     trace: cex_trace(&path, &action),
                 }),
+                kinds: kind_counts(kinds),
             };
         }
         if ids.len() >= max_states {
@@ -352,6 +384,7 @@ pub fn dpor<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
                 depth: max_depth,
                 complete: false,
                 violation: None,
+                kinds: kind_counts(kinds),
             };
         }
         let enabled = h.enabled(&next);
@@ -371,6 +404,7 @@ pub fn dpor<H: Harness>(h: &H, max_states: usize) -> Outcome<H::Action> {
         depth: max_depth,
         complete: true,
         violation: None,
+        kinds: kind_counts(kinds),
     }
 }
 

@@ -60,6 +60,15 @@ pub trait Harness {
         true
     }
 
+    /// Stable kind label for `a`, used by the explorers' per-action-kind
+    /// transition statistics (e.g. proving a fault-enabled run actually
+    /// exercised crash/rejoin actions, not just protocol traffic).
+    /// Harnesses with one action flavor can keep the default.
+    fn action_kind(&self, a: &Self::Action) -> &'static str {
+        let _ = a;
+        "step"
+    }
+
     /// Render one action as a JSON object (a counterexample trace line).
     fn action_json(&self, a: &Self::Action, step: usize) -> String;
 }

@@ -18,7 +18,7 @@
 //! configuration.
 
 use crate::harness::Harness;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A livelock witness: run the `stem` from the initial state, then the
 /// `cycle` repeats forever without any application progress.
@@ -46,6 +46,9 @@ pub struct LivenessOutcome<A> {
     /// "no livelock at max back-off" claim is vacuous unless latched
     /// states were actually explored).
     pub interesting: usize,
+    /// Transitions applied per [`Harness::action_kind`], sorted by kind
+    /// name (fault-coverage evidence for bounded-fault liveness runs).
+    pub kinds: Vec<(&'static str, usize)>,
 }
 
 /// Exhaustively explore `h` and search for a non-progress lasso.
@@ -70,6 +73,7 @@ pub fn find_lasso<H: Harness>(
     let mut transitions = 0usize;
     let mut complete = true;
     let mut interesting_count = 0usize;
+    let mut kinds: BTreeMap<&'static str, usize> = BTreeMap::new();
 
     ids.insert(h.canon(&initial), 0);
     if interesting(&initial) {
@@ -86,6 +90,7 @@ pub fn find_lasso<H: Harness>(
         let state = states_by_id[id as usize].clone();
         for action in h.enabled(&state) {
             transitions += 1;
+            *kinds.entry(h.action_kind(&action)).or_insert(0) += 1;
             let next = h
                 .step(&state, &action)
                 .map_err(|e| format!("illegal transition during liveness search: {e}"))?;
@@ -133,6 +138,7 @@ pub fn find_lasso<H: Harness>(
         complete,
         lasso,
         interesting: interesting_count,
+        kinds: kinds.into_iter().collect(),
     })
 }
 

@@ -13,28 +13,33 @@
 //! Reproduction is judged by invariant *name* only: a shorter trace that
 //! trips the same invariant with a different detail string (e.g. a
 //! different node id) is still the same bug class, and accepting it
-//! shrinks much further.  The one exception is the synthetic
-//! `illegal-transition` class, which covers every way a step can be
-//! rejected — there the *detail* must match too, or the shrinker would
-//! happily collapse any trace to a single arbitrary invalid action
-//! (e.g. delivering a message that is not in flight) and call it the
-//! same bug.
+//! shrinks much further.  The exceptions are the synthetic
+//! `illegal-transition` and `disabled-action` classes, which cover every
+//! way a step can be rejected — there the *detail* must match too, or
+//! the shrinker would happily collapse any trace to a single arbitrary
+//! invalid action (e.g. delivering a message that is not in flight, or
+//! rejoining a node that never crashed) and call it the same bug.  This
+//! matters doubly for fault traces: a crash/rejoin schedule mangled by
+//! ddmin turns into disabled recovery actions, and without the detail
+//! match any such mangling would "reproduce".
 
 use crate::explore::replay_on;
 use crate::harness::Harness;
 
 /// True if `trace` still reproduces the violation `(invariant, detail)`
-/// on `h`.  `detail` is only consulted for the `illegal-transition`
-/// class (see module docs).
+/// on `h`.  `detail` is only consulted for the synthetic
+/// `illegal-transition` / `disabled-action` classes (see module docs).
 fn reproduces<H: Harness>(h: &H, invariant: &str, detail: &str, trace: &[H::Action]) -> bool {
+    let detail_matters = invariant == "illegal-transition" || invariant == "disabled-action";
     match replay_on(h, trace) {
-        Some((inv, d)) => inv == invariant && (invariant != "illegal-transition" || d == detail),
+        Some((inv, d)) => inv == invariant && (!detail_matters || d == detail),
         None => false,
     }
 }
 
 /// Minimize `trace` while it keeps violating `invariant` on `h` (with
-/// the same `detail` for the `illegal-transition` class).
+/// the same `detail` for the `illegal-transition` and `disabled-action`
+/// classes).
 ///
 /// Returns the shrunk trace; if the input does not reproduce at all
 /// (caller bug, or a nondeterministic harness), it is returned unchanged.

@@ -1,0 +1,231 @@
+//! Fault-injection integration tests (`--features check`).
+//!
+//! The release gate (`model_check faults`) explores the whole bounded-fault
+//! suite up to budget k = 2; these tests keep the same claims on the
+//! configurations small enough for the test profile: clean bounded-fault
+//! exploration with real fault/recovery coverage, a byte-for-byte identical
+//! state space at k = 0, lasso-free recovery, and every seeded recovery
+//! bug caught with a ddmin-shrunk, replayable trace that keeps its fault
+//! schedule.
+#![cfg(feature = "check")]
+
+use ascoma_check::conform::{ConformAction, ConformConfig, ConformHarness, ConformMutation};
+use ascoma_check::explore::{bfs, dpor, replay_on, Outcome};
+use ascoma_check::liveness::find_lasso;
+use ascoma_check::shrink::shrink;
+
+const MAX_STATES: usize = 4_000_000;
+
+fn is_fault(a: &ConformAction) -> bool {
+    matches!(
+        a,
+        ConformAction::DropMsg { .. }
+            | ConformAction::DupMsg { .. }
+            | ConformAction::Crash { .. }
+            | ConformAction::LoseShard { .. }
+    )
+}
+
+fn kind_coverage(out: &Outcome<ConformAction>) -> (bool, bool) {
+    let faults = out
+        .kinds
+        .iter()
+        .any(|(k, n)| k.starts_with("fault-") && *n > 0);
+    let recovers = out
+        .kinds
+        .iter()
+        .any(|(k, n)| k.starts_with("recover-") && *n > 0);
+    (faults, recovers)
+}
+
+/// The small end of the bounded-fault gate: every coherence-only config at
+/// k = 1 plus the compact AS-COMA config the k = 2 gate uses.  Each must
+/// explore completely with zero violations, exercise both fault and
+/// recovery actions (no vacuous pass), and stay DPOR-sound.
+#[test]
+fn bounded_fault_configs_are_clean_with_coverage() {
+    let mut cfgs: Vec<ConformConfig> = ConformConfig::fault_suite(1)
+        .into_iter()
+        .filter(|c| !c.remap)
+        .collect();
+    cfgs.push(ConformConfig::ascoma(2, 1, 1, 3).with_faults(1));
+    assert!(cfgs.len() >= 5);
+    for cfg in cfgs {
+        let h = ConformHarness::new(cfg);
+        let full = bfs(&h, MAX_STATES);
+        assert!(full.complete, "{}: BFS hit the state cap", cfg.label());
+        assert!(
+            full.violation.is_none(),
+            "{}: BFS violation: {:?}",
+            cfg.label(),
+            full.violation.map(|v| (v.invariant, v.detail))
+        );
+        let (faults, recovers) = kind_coverage(&full);
+        assert!(faults, "{}: no fault action ever fired", cfg.label());
+        assert!(recovers, "{}: no recovery action ever fired", cfg.label());
+        let reduced = dpor(&h, MAX_STATES);
+        assert!(reduced.complete, "{}: DPOR hit the state cap", cfg.label());
+        assert!(
+            reduced.violation.is_none(),
+            "{}: DPOR violation: {:?}",
+            cfg.label(),
+            reduced.violation.map(|v| (v.invariant, v.detail))
+        );
+        // The shared fault budget couples fault actions, so the reduction
+        // is weaker than in the fault-free suite but must never expand.
+        assert!(
+            reduced.states <= full.states,
+            "{}: DPOR expanded the state space ({} vs {})",
+            cfg.label(),
+            reduced.states,
+            full.states
+        );
+    }
+}
+
+/// With a zero fault budget the fault layer must be invisible: the ghost
+/// data-plane versions and fault flags stay out of the canonical key, so
+/// the explored graph is exactly the plain conformance graph.
+#[test]
+fn zero_budget_is_state_identical_to_plain_conformance() {
+    for cfg in ConformConfig::smoke_suite() {
+        let plain = bfs(&ConformHarness::new(cfg), MAX_STATES);
+        let zeroed = bfs(&ConformHarness::new(cfg.with_faults(0)), MAX_STATES);
+        assert_eq!(
+            (plain.states, plain.transitions),
+            (zeroed.states, zeroed.transitions),
+            "{}: k = 0 must not perturb the state space",
+            cfg.label()
+        );
+        assert!(zeroed.violation.is_none());
+    }
+}
+
+/// Recovery terminates: in the faulted liveness suite no non-progress
+/// cycle exists, and the proof is not vacuous — crashed states are
+/// actually covered.
+#[test]
+fn recovery_is_lasso_free_and_covers_crashed_states() {
+    for cfg in ConformConfig::fault_liveness_suite() {
+        let h = ConformHarness::new(cfg);
+        let out = find_lasso(&h, MAX_STATES, |s| s.any_node_down())
+            .expect("clean config must have no illegal transitions");
+        assert!(out.complete, "{}: liveness BFS hit the cap", cfg.label());
+        assert!(
+            out.lasso.is_none(),
+            "{}: recovery has a non-progress cycle",
+            cfg.label()
+        );
+        assert!(
+            out.interesting > 0,
+            "{}: no crashed state was ever explored",
+            cfg.label()
+        );
+    }
+}
+
+fn recovery_case(m: ConformMutation) -> (ConformConfig, &'static [&'static str]) {
+    match m {
+        ConformMutation::RebuildSkipsDirty => (
+            ConformConfig {
+                mutation: Some(m),
+                ..ConformConfig::coherence(2, 1, 1, 2).with_faults(1)
+            },
+            &["l1-ownership", "stale-home", "swmr"],
+        ),
+        ConformMutation::PurgeSkipsBlock => (
+            ConformConfig {
+                mutation: Some(m),
+                ..ConformConfig::coherence(2, 1, 1, 2).with_faults(1)
+            },
+            &["crash-isolation"],
+        ),
+        ConformMutation::RejoinStaleTlb => (
+            ConformConfig {
+                mutation: Some(m),
+                ..ConformConfig::remap(2, 2, 1, 3).with_faults(1)
+            },
+            &[
+                "frame-conservation",
+                "directory-cache-agreement",
+                "residency-consistency",
+            ],
+        ),
+        ConformMutation::RejoinShortPool => (
+            ConformConfig {
+                mutation: Some(m),
+                ..ConformConfig::remap(2, 2, 1, 3).with_faults(1)
+            },
+            &["frame-conservation"],
+        ),
+        _ => unreachable!("not a recovery mutation"),
+    }
+}
+
+/// Every seeded recovery bug is detected, shrinks to a 1-minimal trace
+/// that still replays to the same invariant class, and the shrunk trace
+/// keeps at least one fault action — ddmin must never "fix" the bug by
+/// deleting the fault schedule that exposes it.
+#[test]
+fn seeded_recovery_faults_are_caught_and_shrink() {
+    for m in ConformMutation::RECOVERY {
+        let (cfg, expected) = recovery_case(m);
+        let h = ConformHarness::new(cfg);
+        let out = bfs(&h, MAX_STATES);
+        let cex = out
+            .violation
+            .unwrap_or_else(|| panic!("{}: recovery fault not caught", cfg.label()));
+        assert!(
+            expected.contains(&cex.invariant.as_str()),
+            "{}: caught as {:?}, expected one of {:?}",
+            cfg.label(),
+            cex.invariant,
+            expected
+        );
+        let small = shrink(&h, &cex.invariant, &cex.detail, &cex.trace);
+        assert!(small.len() <= cex.trace.len());
+        assert!(
+            small.iter().any(is_fault),
+            "{}: shrunk trace lost its fault schedule",
+            cfg.label()
+        );
+        let replayed = replay_on(&h, &small).expect("shrunk trace must reproduce");
+        assert_eq!(replayed.0, cex.invariant, "{}", cfg.label());
+        // 1-minimality: removing any single action breaks reproduction of
+        // this invariant.
+        for i in 0..small.len() {
+            let mut probe = small.clone();
+            probe.remove(i);
+            let still = replay_on(&h, &probe);
+            assert!(
+                still.map(|(inv, _)| inv) != Some(cex.invariant.clone()),
+                "{}: shrunk trace is not 1-minimal (action {} removable)",
+                cfg.label(),
+                i
+            );
+        }
+    }
+}
+
+/// ddmin on a mixed fault/recovery trace: a duplicated-delivery violation
+/// would be nonsense without the DupMsg action, and shrinking must keep
+/// the trace legal (recovery actions stay ordered after their faults).
+#[test]
+fn shrunk_fault_traces_stay_legal_and_ordered() {
+    // Use the purge-skips-block case: its counterexample necessarily
+    // interleaves Issue / Crash, so the shrunk trace exercises ddmin on a
+    // schedule where dropping the Crash makes the suffix illegal, not
+    // just non-reproducing.
+    let (cfg, _) = recovery_case(ConformMutation::PurgeSkipsBlock);
+    let h = ConformHarness::new(cfg);
+    let cex = bfs(&h, MAX_STATES).violation.expect("fault not caught");
+    let small = shrink(&h, &cex.invariant, &cex.detail, &cex.trace);
+    assert!(
+        small
+            .iter()
+            .any(|a| matches!(a, ConformAction::Crash { .. })),
+        "purge bug requires a crash in the shrunk trace"
+    );
+    // Replaying the shrunk trace must never hit an illegal transition.
+    assert!(replay_on(&h, &small).is_some());
+}

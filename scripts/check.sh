@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Correctness gate for the ascoma workspace: formatting, clippy with
 # warnings denied, a panic lint over library code, the protocol model
-# checker (clean smoke suite + seeded-mutation detection), and the
-# feature-gated interleaving/churn test suites.
+# checker (clean smoke suite + seeded-mutation detection), the
+# bounded-fault / recovery gates, and the feature-gated
+# interleaving/churn test suites.
 #
 # Run from anywhere inside the repo:
 #
@@ -95,6 +96,7 @@ crates/bench/src/bin/perf_baseline.rs
 crates/bench/benches/obs_overhead.rs
 crates/bench/benches/hotpath.rs
 crates/core/src/parallel.rs
+crates/check/src/bin/model_check.rs
 "
 audit_viol=0
 while IFS= read -r f; do
@@ -141,8 +143,16 @@ if [ "$fast" -eq 0 ]; then
     step "liveness gate (release): lasso freedom + seeded livelock"
     cargo run -q --release -p ascoma-check --features check \
         --bin model_check -- liveness
+
+    step "fault gate (release): bounded faults k<=2, recovery liveness, seeded recovery bugs"
+    cargo run -q --release -p ascoma-check --features check \
+        --bin model_check -- faults
+
+    step "fault soak (release): randomized crash/loss/recovery walks"
+    cargo run -q --release -p ascoma-check --features check \
+        --bin model_check -- soak
 else
-    step "model checker / conformance / liveness gates skipped (--fast)"
+    step "model checker / conformance / liveness / fault gates skipped (--fast)"
 fi
 
 printf '\nall checks passed\n'
