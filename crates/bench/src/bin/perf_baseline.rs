@@ -193,32 +193,48 @@ fn main() {
         ncells as f64 / serial_secs
     );
 
-    let t2 = Instant::now();
-    let parallel = run(jobs, "parallel grid");
-    let parallel_secs = t2.elapsed().as_secs_f64();
-    eprintln!(
-        "parallel: {parallel_secs:.3}s ({:.1} cells/s, {jobs} jobs)",
-        ncells as f64 / parallel_secs
-    );
+    // On a single-core host the parallel leg would re-run the whole
+    // grid only to time the same engine under scheduler round-robin:
+    // skip it and record `"parallel": null` so downstream tooling can
+    // tell "skipped" from "ran slowly".
+    let parallel: Option<(Vec<RunResult>, f64)> = if host_cores > 1 {
+        let t2 = Instant::now();
+        let runs = run(jobs, "parallel grid");
+        let parallel_secs = t2.elapsed().as_secs_f64();
+        eprintln!(
+            "parallel: {parallel_secs:.3}s ({:.1} cells/s, {jobs} jobs)",
+            ncells as f64 / parallel_secs
+        );
+        Some((runs, parallel_secs))
+    } else {
+        eprintln!("parallel: skipped (host_cores=1; nothing to parallelize against)");
+        None
+    };
     // A serial-vs-parallel ratio only measures the engine when there is
     // real parallelism; on a single-core host (or with --jobs 1) it is
     // just timing noise, so flag it and omit the number.
-    let speedup_meaningful = host_cores > 1 && jobs > 1;
-    let speedup = serial_secs / parallel_secs;
-    if speedup_meaningful {
-        eprintln!("speedup : {speedup:.2}x");
-    } else {
-        eprintln!(
-            "speedup : n/a (host_cores={host_cores}, jobs={jobs}; comparison not meaningful)"
-        );
+    let speedup_meaningful = parallel.is_some() && jobs > 1;
+    if let Some((_, parallel_secs)) = &parallel {
+        let speedup = serial_secs / parallel_secs;
+        if speedup_meaningful {
+            eprintln!("speedup : {speedup:.2}x");
+        } else {
+            eprintln!(
+                "speedup : n/a (host_cores={host_cores}, jobs={jobs}; comparison not meaningful)"
+            );
+        }
     }
 
-    let equivalent = serial == parallel;
+    // With the parallel leg skipped there is nothing to compare, which
+    // is vacuously equivalent (and `--check` has nothing to fail on).
+    let equivalent = match &parallel {
+        Some((runs, _)) => serial == *runs,
+        None => true,
+    };
     if args.check && !equivalent {
-        let bad = serial
-            .iter()
-            .zip(&parallel)
-            .position(|(s, p)| s != p)
+        let bad = parallel
+            .as_ref()
+            .and_then(|(runs, _)| serial.iter().zip(runs).position(|(s, p)| s != p))
             .unwrap_or(0);
         eprintln!("FAIL: parallel result diverges from serial at cell {bad}");
         std::process::exit(1);
@@ -274,14 +290,23 @@ fn main() {
         "  \"serial\": {{ \"wall_secs\": {serial_secs:.6}, \"cells_per_sec\": {:.3} }},",
         ncells as f64 / serial_secs
     );
-    let _ = writeln!(
-        json,
-        "  \"parallel\": {{ \"wall_secs\": {parallel_secs:.6}, \"cells_per_sec\": {:.3} }},",
-        ncells as f64 / parallel_secs
-    );
+    match &parallel {
+        Some((_, parallel_secs)) => {
+            let _ = writeln!(
+                json,
+                "  \"parallel\": {{ \"wall_secs\": {parallel_secs:.6}, \"cells_per_sec\": {:.3} }},",
+                ncells as f64 / parallel_secs
+            );
+        }
+        None => {
+            let _ = writeln!(json, "  \"parallel\": null,");
+        }
+    }
     let _ = writeln!(json, "  \"speedup_meaningful\": {speedup_meaningful},");
-    if speedup_meaningful {
-        let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    if let Some((_, parallel_secs)) = &parallel {
+        if speedup_meaningful {
+            let _ = writeln!(json, "  \"speedup\": {:.3},", serial_secs / parallel_secs);
+        }
     }
     let _ = writeln!(json, "  \"equivalent\": {equivalent},");
     let _ = writeln!(json, "  \"counters\": {{");

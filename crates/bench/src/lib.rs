@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ablate;
 pub mod diff;
 pub mod harness;
 pub mod pacing;

@@ -1,7 +1,7 @@
 //! Results of one simulation run: the data behind every chart and table.
 
 use crate::config::Arch;
-use ascoma_obs::{MetricsDigest, Summary, ThresholdStep};
+use ascoma_obs::{ControllerSummary, MetricsDigest, Summary, ThresholdStep};
 use ascoma_proto::ProtoStats;
 use ascoma_sim::stats::{ExecBreakdown, KernelStats, MissBreakdown, MissLatency};
 use ascoma_sim::Cycles;
@@ -62,6 +62,10 @@ pub struct RunResult {
     /// Integer-only and deterministic, so it compares exactly across job
     /// counts and is what `bench diff` consumes.
     pub metrics: Option<MetricsDigest>,
+    /// Auto-tuner summary (decision counts, per-node phase dwell, knob
+    /// trajectories): present iff `SimConfig::controller.enabled`.
+    /// Integer-only and deterministic across job counts.
+    pub controller: Option<ControllerSummary>,
 }
 
 impl RunResult {
@@ -118,6 +122,7 @@ mod tests {
             net_queued_cycles: 0,
             obs: None,
             metrics: None,
+            controller: None,
         }
     }
 

@@ -2,6 +2,7 @@
 //! / [`crate::export::jsonl`], so archived traces can be summarized,
 //! digested, and diffed offline exactly like in-memory ones.
 
+use crate::control::{Cause, Phase};
 use crate::event::{BackoffKind, Event, EvictCause, MapMode, MissLoc, TimedEvent};
 use crate::json::{parse, Json};
 use ascoma_sim::addr::VPage;
@@ -67,6 +68,14 @@ fn parse_dir(name: &str) -> Result<BackoffKind, String> {
         "drop" => Ok(BackoffKind::Drop),
         other => Err(format!("unknown back-off direction \"{other}\"")),
     }
+}
+
+fn parse_phase(name: &str) -> Result<Phase, String> {
+    Phase::parse(name).ok_or_else(|| format!("unknown phase \"{name}\""))
+}
+
+fn parse_tune_cause(name: &str) -> Result<Cause, String> {
+    Cause::parse(name).ok_or_else(|| format!("unknown tune cause \"{name}\""))
 }
 
 fn parse_loc(name: &str) -> Result<MissLoc, String> {
@@ -172,6 +181,23 @@ pub fn parse_event_line(line: &str) -> Result<TimedEvent, String> {
             node,
             reclaimed: u32_field(&obj, "reclaimed")?,
             cycles: u64_field(&obj, "cycles")?,
+        },
+        "phase_change" => Event::PhaseChange {
+            node,
+            window: u64_field(&obj, "window")?,
+            from: parse_phase(str_field(&obj, "from")?)?,
+            to: parse_phase(str_field(&obj, "to")?)?,
+            cause: parse_tune_cause(str_field(&obj, "cause")?)?,
+            dwell: u64_field(&obj, "dwell")?,
+        },
+        "tune_applied" => Event::TuneApplied {
+            node,
+            window: u64_field(&obj, "window")?,
+            inc_from: u32_field(&obj, "inc_from")?,
+            inc_to: u32_field(&obj, "inc_to")?,
+            period_from: u64_field(&obj, "period_from")?,
+            period_to: u64_field(&obj, "period_to")?,
+            cause: parse_tune_cause(str_field(&obj, "cause")?)?,
         },
         other => return Err(format!("unknown event kind \"{other}\"")),
     };
@@ -333,6 +359,29 @@ mod tests {
                     node: n,
                     reclaimed: 4,
                     cycles: 2100,
+                },
+            },
+            TimedEvent {
+                cycle: 17,
+                event: Event::PhaseChange {
+                    node: n,
+                    window: 4,
+                    from: Phase::Baseline,
+                    to: Phase::Hot,
+                    cause: Cause::RefetchHigh,
+                    dwell: 4,
+                },
+            },
+            TimedEvent {
+                cycle: 18,
+                event: Event::TuneApplied {
+                    node: n,
+                    window: 4,
+                    inc_from: 32,
+                    inc_to: 64,
+                    period_from: 50_000,
+                    period_to: 100_000,
+                    cause: Cause::RefetchHigh,
                 },
             },
         ]
